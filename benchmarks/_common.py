@@ -1,0 +1,99 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every ``bench_*.py`` module in this directory is both:
+
+- a pytest-benchmark target (``pytest benchmarks/ --benchmark-only``)
+  whose assertions pin the *shape* of the paper's claim, and
+- a standalone script (``python benchmarks/bench_X.py``) that prints the
+  reproduced table/figure next to what the paper reports.
+
+The paper has no absolute performance numbers to match (its evaluation
+is the design itself plus qualitative claims), so shapes — who wins, by
+what rough factor, where behaviour changes — are the reproduction
+target.  EXPERIMENTS.md records the printed outputs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.builder import ChunkStreamBuilder
+from repro.core.chunk import Chunk
+from repro.wsc.invariant import encode_tpdu
+
+__all__ = [
+    "print_table",
+    "make_bytes",
+    "make_chunk",
+    "build_stream",
+    "build_tpdu_with_ed",
+]
+
+
+def print_table(title: str, rows: Sequence[Sequence[object]]) -> None:
+    """Render rows (first row = header) as an aligned text table."""
+    text = [
+        [f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in text) for i in range(len(text[0]))]
+    print(f"\n== {title} ==")
+    for index, row in enumerate(text):
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            print("  ".join("-" * width for width in widths))
+
+
+def make_bytes(n: int, seed: int = 0) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(n))
+
+
+def make_chunk(units: int, t_st: bool = False, seed: int = 1) -> Chunk:
+    """A single DATA chunk with simple labels (benchmark traffic)."""
+    from repro.core.tuples import FramingTuple
+    from repro.core.types import ChunkType
+
+    return Chunk(
+        type=ChunkType.DATA,
+        size=1,
+        length=units,
+        c=FramingTuple(1, 0),
+        t=FramingTuple(10, 0, t_st),
+        x=FramingTuple(100, 0),
+        payload=make_bytes(units * 4, seed=seed),
+    )
+
+
+def build_stream(
+    total_units: int,
+    tpdu_units: int = 64,
+    frame_units: int = 24,
+    connection_id: int = 1,
+    seed: int = 0,
+) -> list[Chunk]:
+    """A realistic chunk stream: frames and TPDUs deliberately unaligned."""
+    builder = ChunkStreamBuilder(connection_id=connection_id, tpdu_units=tpdu_units)
+    chunks: list[Chunk] = []
+    produced = 0
+    frame_id = 0
+    while produced < total_units:
+        units = min(frame_units, total_units - produced)
+        chunks += builder.add_frame(
+            make_bytes(units * 4, seed=seed * 1000 + frame_id), frame_id=frame_id
+        )
+        produced += units
+        frame_id += 1
+    return chunks
+
+
+def build_tpdu_with_ed(tpdu_units: int = 48, seed: int = 0):
+    """One complete TPDU (several frames) plus its ED chunk."""
+    chunks = build_stream(
+        tpdu_units, tpdu_units=tpdu_units, frame_units=max(tpdu_units // 3, 1),
+        seed=seed,
+    )
+    tpdu0 = [c for c in chunks if c.t.ident == 0]
+    _, ed = encode_tpdu(tpdu0)
+    return tpdu0, ed

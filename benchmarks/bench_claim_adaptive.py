@@ -1,0 +1,164 @@
+"""CLAIM-ADAPT: TPDU size should match the observed error rate (Section 3).
+
+Paper (rebutting Kent & Mogul's fragment-loss argument): "if such losses
+occur often enough to be a problem, a good transport protocol
+implementation should reduce its TPDU size to match the observed
+network error rate without any direct knowledge of whether
+fragmentation is occurring."
+
+Reproduction: run the reliable chunk transport over paths with rising
+packet-loss rates using (a) a large fixed TPDU, (b) a small fixed TPDU,
+and (c) the adaptive policy.  Report goodput efficiency — useful payload
+bytes divided by total bytes transmitted including retransmissions.
+Shape: big TPDUs win when clean, small TPDUs win when lossy, and the
+adaptive policy tracks the better of the two at both ends.
+"""
+
+from __future__ import annotations
+
+import random
+
+from _common import print_table
+from repro.core.packet import Packet
+from repro.core.types import ChunkType
+from repro.netsim.events import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.rng import substream
+from repro.transport.connection import ConnectionConfig
+from repro.transport.reliability import (
+    AdaptiveTpduPolicy,
+    ReliableReceiver,
+    ReliableSender,
+)
+
+FRAMES = 96
+FRAME_BYTES = 2048
+BIG_UNITS = 4096    # 16 KiB TPDUs: ~11 packets each at MTU 1500
+SMALL_UNITS = 256   # 1 KiB TPDUs: one packet each
+FRAME_INTERVAL = 0.02
+
+
+def run_transfer(loss: float, tpdu_units: int, adaptive: bool, seed: int = 7):
+    loop = EventLoop()
+    box = {}
+    fwd = Link(
+        loop, deliver=lambda f: box["rx"].receive_packet(f),
+        loss_rate=loss, rng=substream(seed, "fwd", loss, tpdu_units), mtu=1500,
+    )
+    policy = (
+        AdaptiveTpduPolicy(
+            min_units=SMALL_UNITS // 2, max_units=BIG_UNITS,
+            current_units=tpdu_units, grow_after=4, grow_step=256,
+        )
+        if adaptive
+        else None
+    )
+    sender = ReliableSender(
+        loop, fwd.send,
+        ConnectionConfig(connection_id=2, tpdu_units=tpdu_units),
+        rto=0.05, max_retries=40, policy=policy,
+    )
+
+    def deliver_acks(frame):
+        for chunk in Packet.decode(frame).chunks:
+            if chunk.type is ChunkType.ACK:
+                sender.handle_ack_chunk(chunk)
+
+    rev = Link(
+        loop, deliver=deliver_acks, loss_rate=loss,
+        rng=substream(seed, "rev", loss, tpdu_units), mtu=1500,
+    )
+    box["rx"] = ReliableReceiver(transmit=rev.send)
+
+    rng = random.Random(3)
+    payload = b""
+    # Pace the application so loss feedback can steer the TPDU size of
+    # later frames (an un-paced burst would be framed before any ACK).
+    for index in range(FRAMES):
+        data = bytes(rng.randrange(256) for _ in range(FRAME_BYTES))
+        payload += data
+        loop.at(
+            index * FRAME_INTERVAL,
+            lambda d=data, i=index: sender.send_frame(d, frame_id=i),
+        )
+    loop.run()
+    delivered = box["rx"].receiver.stream_bytes()
+    assert delivered == payload, "reliable transfer failed to converge"
+    return {
+        "efficiency": len(payload) / sender.bytes_sent,
+        "retransmissions": sender.retransmissions,
+        "final_units": sender.sender.tpdu_units,
+        "completion_time": loop.now,
+    }
+
+
+_SWEEP_CACHE: list | None = None
+
+
+def sweep():
+    global _SWEEP_CACHE
+    if _SWEEP_CACHE is not None:
+        return _SWEEP_CACHE
+    rows = []
+    for loss in (0.0, 0.05, 0.15, 0.30):
+        rows.append(
+            {
+                "loss": loss,
+                "big": run_transfer(loss, BIG_UNITS, adaptive=False),
+                "small": run_transfer(loss, SMALL_UNITS, adaptive=False),
+                "adaptive": run_transfer(loss, BIG_UNITS, adaptive=True),
+            }
+        )
+    _SWEEP_CACHE = rows
+    return rows
+
+
+def test_big_tpdus_win_when_clean():
+    row = [r for r in sweep() if r["loss"] == 0.0][0]
+    assert row["big"]["efficiency"] > row["small"]["efficiency"]
+
+
+def test_small_tpdus_win_when_lossy():
+    row = [r for r in sweep() if r["loss"] == 0.30][0]
+    assert row["small"]["efficiency"] > row["big"]["efficiency"]
+
+
+def test_adaptive_tracks_both_regimes():
+    rows = sweep()
+    clean = rows[0]
+    lossy = rows[-1]
+    # Clean: adaptive within 10% of the big-TPDU efficiency.
+    assert clean["adaptive"]["efficiency"] > clean["big"]["efficiency"] * 0.9
+    # Lossy: adaptive clearly better than staying big.
+    assert lossy["adaptive"]["efficiency"] > lossy["big"]["efficiency"]
+    # And it actually shrank its TPDUs to get there.
+    assert lossy["adaptive"]["final_units"] < BIG_UNITS
+
+
+def test_reliable_transfer_throughput(benchmark):
+    result = benchmark(run_transfer, 0.1, BIG_UNITS, True)
+    assert result["efficiency"] > 0
+
+
+def main():
+    rows = [("loss rate", f"big ({BIG_UNITS}u) eff", f"small ({SMALL_UNITS}u) eff",
+             "adaptive eff", "adaptive final units")]
+    for row in sweep():
+        rows.append(
+            (row["loss"],
+             row["big"]["efficiency"],
+             row["small"]["efficiency"],
+             row["adaptive"]["efficiency"],
+             row["adaptive"]["final_units"])
+        )
+    print_table(
+        "CLAIM-ADAPT — goodput efficiency (payload / bytes sent) vs loss",
+        rows,
+    )
+    print("paper's claim (Section 3): the transport should shrink its TPDU")
+    print("to match the observed error rate; adaptation approaches the best")
+    print("fixed size at both ends of the sweep.")
+
+
+if __name__ == "__main__":
+    main()

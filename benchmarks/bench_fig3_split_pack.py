@@ -1,0 +1,119 @@
+"""FIG-3: TPDU chunks and their mapping onto packets (Figure 3).
+
+Paper artifact: the LEN=7 data chunk of Figure 2 splits into a LEN=4
+chunk (C.SN=36, T.SN=0, X.SN=24, no ST bits) and a LEN=3 chunk
+(C.SN=40, T.SN=4, X.SN=28, T.ST preserved); the second packet also
+carries the TPDU's ED (WSC-2) control chunk.
+
+Reproduction: regenerate the split values exactly, show the packet
+mapping, and benchmark split/pack/unpack throughput.
+"""
+
+from __future__ import annotations
+
+from _common import build_stream, print_table
+from repro.core.chunk import Chunk
+from repro.core.fragment import split
+from repro.core.packet import Packet, pack_chunks
+from repro.core.tuples import FramingTuple
+from repro.core.types import ChunkType
+from repro.wsc.invariant import encode_tpdu
+
+
+def figure3_chunk() -> Chunk:
+    return Chunk(
+        type=ChunkType.DATA,
+        size=1,
+        length=7,
+        c=FramingTuple(0xA, 36, False),
+        t=FramingTuple(0x51, 0, True),
+        x=FramingTuple(0xC, 24, False),
+        payload=bytes(range(1, 8)) * 4,
+    )
+
+
+def test_figure3_split_values():
+    a, b = split(figure3_chunk(), 4)
+    assert (a.length, a.c.sn, a.t.sn, a.x.sn) == (4, 36, 0, 24)
+    assert not (a.c.st or a.t.st or a.x.st)
+    assert (b.length, b.c.sn, b.t.sn, b.x.sn) == (3, 40, 4, 28)
+    assert b.t.st and not b.c.st and not b.x.st
+
+
+def test_figure3_packets_carry_data_and_ed_together():
+    chunk = figure3_chunk()
+    a, b = split(chunk, 4)
+    _, ed = encode_tpdu([chunk])
+    packets = pack_chunks([a, b, ed], mtu=117)
+    # The ED chunk shares a packet with a data chunk, as in the figure.
+    assert any(
+        len(p.chunks) > 1 and any(c.type is ChunkType.ERROR_DETECTION for c in p.chunks)
+        for p in packets
+    )
+    # Round trip through wire bytes.
+    back = [c for p in packets for c in Packet.decode(p.encode()).chunks]
+    assert sorted(c.payload for c in back if c.is_data) == sorted(
+        [a.payload, b.payload]
+    )
+
+
+def test_split_throughput(benchmark):
+    chunk = Chunk(
+        type=ChunkType.DATA,
+        size=1,
+        length=4096,
+        c=FramingTuple(1, 0),
+        t=FramingTuple(1, 0, True),
+        x=FramingTuple(1, 0),
+        payload=bytes(4096 * 4),
+    )
+
+    def run():
+        out = []
+        rest = chunk
+        while rest.length > 64:
+            head, rest = split(rest, 64)
+            out.append(head)
+        out.append(rest)
+        return out
+
+    pieces = benchmark(run)
+    assert sum(p.length for p in pieces) == 4096
+
+
+def test_pack_unpack_throughput(benchmark):
+    chunks = build_stream(total_units=4096)
+
+    def run():
+        packets = pack_chunks(chunks, mtu=576)
+        return [Packet.decode(p.encode()) for p in packets]
+
+    packets = benchmark(run)
+    assert sum(len(p.chunks) for p in packets) >= len(chunks)
+
+
+def main():
+    chunk = figure3_chunk()
+    a, b = split(chunk, 4)
+    _, ed = encode_tpdu([chunk])
+    rows = [("field", "original", "chunk_a (paper)", "chunk_a", "chunk_b (paper)", "chunk_b")]
+    rows += [
+        ("LEN", chunk.length, 4, a.length, 3, b.length),
+        ("C.SN", chunk.c.sn, 36, a.c.sn, 40, b.c.sn),
+        ("T.SN", chunk.t.sn, 0, a.t.sn, 4, b.t.sn),
+        ("X.SN", chunk.x.sn, 24, a.x.sn, 28, b.x.sn),
+        ("ST bits", "0,1,0", "0,0,0", f"{int(a.c.st)},{int(a.t.st)},{int(a.x.st)}",
+         "0,1,0", f"{int(b.c.st)},{int(b.t.st)},{int(b.x.st)}"),
+    ]
+    print_table("Figure 3 — splitting the LEN=7 chunk", rows)
+    packets = pack_chunks([a, b, ed], mtu=117)
+    print("packet mapping:")
+    for index, packet in enumerate(packets):
+        kinds = ", ".join(
+            f"{c.type.name}(LEN={c.length})" for c in packet.chunks
+        )
+        print(f"  packet {index + 1}: {kinds}  [{packet.wire_bytes} bytes]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md by running every bench's main() and
+stitching the outputs next to the paper-vs-measured summaries.
+
+Usage:  python benchmarks/generate_experiments.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib.util
+import io
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent
+
+# (experiment id, bench module, title, what the paper shows, what we measured)
+EXPERIMENTS = [
+    ("FIG-1", "bench_fig1_multiframing", "Figure 1 — dividing a data stream into multiple PDUs",
+     "One data stream carries two independent framings; a piece of data can belong to PDU B of type 1 and PDU W of type 2 simultaneously.",
+     "Exact. Every unit carries both labels; external PDUs span TPDU boundaries; chunk boundaries fall exactly on framing boundaries."),
+    ("FIG-2", "bench_fig2_formation", "Figure 2 — formation of a TPDU data chunk",
+     "Nine labelled units (C.SN 35..43, TPDU ids P/Q/R, external PDU C with X.SN 23..31) collapse into chunks; the middle chunk header is TYPE=D, SIZE=1, LEN=7, C=(A,36,0), T=(Q,0,1), X=(C,24,0).",
+     "Exact, field for field (see table below)."),
+    ("FIG-3", "bench_fig3_split_pack", "Figure 3 — TPDU chunks and their mapping onto packets",
+     "The LEN=7 chunk splits into LEN=4 (C.SN=36, T.SN=0, X.SN=24, no ST) and LEN=3 (C.SN=40, T.SN=4, X.SN=28, T.ST kept); the ED chunk shares a packet with the second data chunk.",
+     "Exact split values; packet mapping reproduced at MTU 117 (first data chunk alone, second data chunk + ED together)."),
+    ("FIG-4", "bench_fig4_internetworking", "Figure 4 — using chunks for internetworking",
+     "Small->large packet boundary handled three ways (one-per-packet / repacked / reassembled), all transparent to the receiver.",
+     "All three modes deliver a byte-exact, fully verified stream; reassemble <= repack < one-per-packet in big-network packets and bytes, as drawn."),
+    ("FIG-5", "bench_fig5_invariant", "Figure 5 — the TPDU invariant",
+     "Error detection performed on an invariant of the TPDU under chunk fragmentation (data 0..16383, T.ID@16384, C.ID@16385, C.ST@16386, X pairs at 16387+2*T.SN).",
+     "200/200 random fragmentation+reorder schedules leave the WSC-2 pair bit-identical; CRC-32 over the raw packet bytes is stable in 0/200 (it is not an invariant)."),
+    ("FIG-6", "bench_fig6_xid_encoding", "Figure 6 — encoding of the X.ID and X.ST fields",
+     "Three external PDUs in one TPDU: A and B encoded at their X.ST boundaries, C (which starts but does not end in the TPDU) encoded at the T.ST boundary; each X.ID exactly once.",
+     "Exact triggers, one encoding per X.ID under every fragmentation schedule, pair positions never collide."),
+    ("FIG-7", "bench_fig7_implicit_id", "Figure 7 — implicit T.ID (+ Appendix A compression)",
+     "(C.SN - T.SN) is constant per TPDU and replaces the explicit T.ID field; Appendix A lists further invertible header reductions, ending with positional information and Huffman encoding within a packet.",
+     "Exact rule; the full Appendix A stack (through packet-scope Huffman) shrinks header overhead from 68.8% of payload to ~6%, losslessly, while keeping TPDU-start headers explicit so one lost chunk never desynchronizes later TPDUs (the appendix's resync rule — an early draft elided those too, and a scenario test caught the full-stream desync)."),
+    ("TAB-1", "bench_table1_corruption", "Table 1 — how corruption is detected for each chunk field",
+     "15 rows mapping each field to its detector: error detection code / consistency check / reassembly error.",
+     "600/600 injected faults detected; majority detection mechanism matches the paper's column for every row (T.SN corruption occasionally trips the consistency check first — either detector suffices, the paper's attribution is the majority case)."),
+    ("CLAIM-LAT", "bench_claim_latency", "Section 1/3.3 — buffering adds latency",
+     "Buffering before processing increases end-to-end latency by the buffer residence time; immediate processing avoids it.",
+     "Immediate adds exactly 0; reorder grows ~linearly with multipath skew (~295us at 200us skew, ~1213us at 800us); reassemble sits between."),
+    ("CLAIM-TOUCH", "bench_claim_touches", "Section 1/3.3 — data touches and the bus bottleneck",
+     "Buffering moves data twice across the bus; reassembly = 2 accesses/byte, immediate = 1; bus-limited throughput halves.",
+     "Measured exactly 1.0 / ~1.25 / 2.0 touches per byte (immediate/reorder/reassemble); 400 vs 200 Mbps effective throughput — the paper's factor of two."),
+    ("CLAIM-ILP", "bench_claim_ilp", "Section 1 — Integrated Layer Processing",
+     "Eliminating per-layer buffer walks keeps memory traffic flat as layers stack.",
+     "Integrated stays at 2 touches/byte for any depth; layered pays 1-2 per layer (5 touches at depth 3, ratio 2.5x)."),
+    ("CLAIM-LOCKUP", "bench_claim_lockup", "Section 3.3 — reassembly buffer lock-up",
+     "Bounded IP reassembly buffers lock up on disordered fragments; chunks eliminate the problem (no physical reassembly buffer).",
+     "IP completes 0/32 PDUs until the buffer covers the full 32-PDU working set; chunks verify 32/32 with zero payload buffering at any budget."),
+    ("CLAIM-1STEP", "bench_claim_onestep", "Section 3.1 — single-step reassembly",
+     "Chunks reassemble in one step regardless of fragmentation depth; conventional intra-network fragmentation needs one reassembly per stage.",
+     "Chunk receiver: exactly 1 coalesce pass at depths 1..5 (cost flat in stage count); staged IP: passes and buffered bytes grow linearly with depth."),
+    ("CLAIM-OVERHEAD", "bench_claim_overhead", "Sections 1/3.2/App A — header overhead",
+     "Per-packet PDU overhead (XTP) is expensive at small MTUs; fragmentation spreads it; compressed chunks approach IP efficiency while staying processable out of order.",
+     "At MTU 296: IP 7.4%, compressed chunks 5.8%, fixed-header chunks 20.0%, XTP 17.5%. Compressed chunks track IP within 2 points at every MTU. (The paper gives no header encoding; the fixed 44-byte header is deliberately simple, so uncompressed chunks land in XTP territory — Appendix A compression closes the gap, exactly as the appendix argues.)"),
+    ("CLAIM-WSC", "bench_claim_wsc2", "Section 4 / footnote 11 — codes on disordered data",
+     "WSC-2 computable on disordered data with CRC-grade power; TCP checksum computable but weaker; CRC not computable on disordered data.",
+     "Order-independence matrix matches footnote 11 exactly; the Internet checksum misses 500/500 aligned word transpositions, WSC-2 misses 0; WSC-2 catches all 32-bit bursts tried. Ablation: table-driven GF(2^32) multiply ~10x the bit-serial version."),
+    ("APP-B", "bench_appb_comparison", "Appendix B — comparison with other protocols",
+     "Survey of which framing information AAL5/AAL3-4/HDLC/URP/IP/VMTP/Axon/Delta-t/XTP carry explicitly/implicitly; chunks alone are fully explicit; the demultiplexing-cost argument; flags vs header fields.",
+     "Matrix reproduced as data and asserted; AAL5 loses a frame to a 2-cell swap while chunks recover exactly; IP receivers branch per packet under mixed fragments; in-stream B/E flag parsing examines ~12x more bytes than chunk headers while chunks keep the many-frames-per-packet property."),
+    ("CLAIM-ADAPT", "bench_claim_adaptive", "Section 3 — TPDU size should match the observed error rate",
+     "Against Kent & Mogul's fragment-loss argument: a good transport shrinks its TPDU to match observed loss, with no knowledge of fragmentation.",
+     "Big fixed TPDUs win on clean paths, small fixed TPDUs win on lossy ones; the adaptive policy tracks the big size when clean and shrinks under loss, landing between."),
+    ("CLAIM-TURNER", "bench_claim_turner", "Section 3 — Turner's drop-the-rest policy [TURN 92]",
+     "If any fragment of a TPDU must be dropped, drop them all — the remainder is dead weight.",
+     "At 1.4x overload, plain tail-drop completes 1/24 TPDUs while the Turner policy completes 19/24 and forwards ~20x fewer useless bytes; chunk labels make the policy implementable in the queue with no endpoint state."),
+    ("CLAIM-PMTU", "bench_claim_pmtu", "Section 3 — never-fragment + path-MTU discovery",
+     "Kent & Mogul's option-4 alternative costs discovery round trips and 'sacrifices the flexibility of alternate routing'.",
+     "Discovery burns ~0.5 s of probe timeouts before the first byte; an MTU-lowering route change black-holes packets and stalls the PMTU sender until re-probe, while the chunk path re-envelopes transparently (zero stall, zero black holes)."),
+    ("CLAIM-IRQ", "bench_claim_interrupts", "Section 3 — interrupt per complete PDU, not per packet",
+     "[STER 90]/[DAVI 91]: a host interface that DMAs packets but interrupts only for complete PDUs cuts per-packet CPU overhead; chunk labels let the NIC track completion with bookkeeping only.",
+     "Per-PDU interrupts stay at 16 (one per TPDU) while per-packet interrupts grow 4->144 as the MTU shrinks (9x reduction at MTU 296); at jumbo MTUs where several TPDUs share a packet the per-packet NIC wins instead — an honest crossover the model exposes."),
+    ("EXT-ERASURE", "bench_ext_erasure", "Extension — erasure repair from the WSC-2 parities",
+     "(Not in the paper.) The two parity symbols are two linear equations over GF(2^32); chunks know exactly which symbols are missing, so up to two can be solved for locally.",
+     "At 0.5% loss, ~94% of damaged TPDUs repair in place with zero retransmission round trips (always byte-exact, cross-checked); the fraction falls as multi-loss TPDUs dominate, which fall back to retransmission."),
+    ("ABL", "bench_abl_design", "Ablations — this implementation's own knobs",
+     "(Implementation study.) The paper leaves the router combining window, the TPDU size, and the atomic-unit SIZE open.",
+     "Batch window cuts big-network packets ~6x for sub-millisecond added completion; ED overhead scales inversely with TPDU size (21.9% at 64 units -> 0.34% at 4096); larger atomic units waste MTU tails (19.6% -> 25.2% wire overhead from SIZE=1 to SIZE=16 at MTU 296)."),
+]
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+The paper (Feldmeier, SIGCOMM '93) has **no quantitative evaluation
+section**: its artifacts are Figures 1-7, Table 1, the appendix
+algorithms, and a set of qualitative performance claims.  This file
+records, for each artifact, what the paper shows and what this
+reproduction measures, plus studies of the surrounding design points
+the paper argues in prose (adaptive TPDU sizing, Turner drops, path-MTU
+discovery), one extension (erasure repair), and ablations of this
+implementation's own knobs.  Regenerate the whole file with
+
+    python benchmarks/generate_experiments.py
+
+or any single table with ``python benchmarks/bench_<id>.py``; timing
+numbers come from ``pytest benchmarks/ --benchmark-only``.
+
+All numbers below come from the simulated substrate (see DESIGN.md for
+the substitutions); shapes, not absolute values, are the reproduction
+target.  Every table below was regenerated on the final build.
+"""
+
+
+def run_bench_main(module_name: str) -> str:
+    spec = importlib.util.spec_from_file_location(module_name, HERE / f"{module_name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.path.insert(0, str(HERE))
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        captured = io.StringIO()
+        with contextlib.redirect_stdout(captured):
+            module.main()
+        return captured.getvalue().rstrip()
+    finally:
+        sys.path.remove(str(HERE))
+
+
+def main() -> None:
+    parts = [HEADER]
+    for exp_id, module, title, paper, measured in EXPERIMENTS:
+        print(f"running {module} ...", flush=True)
+        output = run_bench_main(module)
+        parts.append(
+            f"""---
+
+## {exp_id}: {title}
+
+**Paper:** {paper}
+
+**Measured:** {measured}
+
+**Bench:** `benchmarks/{module}.py`
+
+```
+{output}
+```
+"""
+        )
+    (REPO / "EXPERIMENTS.md").write_text("\n".join(parts))
+    print(f"wrote EXPERIMENTS.md with {len(EXPERIMENTS)} experiments")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""End-to-end error detection on disordered, fragmented chunks (Section 4).
+
+Shows the three detection mechanisms of Table 1 firing on live
+corruption, and the headline WSC-2 property: the error-detection value
+is *invariant under fragmentation*, so the receiver verifies data that
+was split by routers and delivered out of order — without ever
+buffering it for reassembly.
+
+Run:  python examples/error_detection_demo.py
+"""
+
+import random
+from dataclasses import replace
+
+from repro.core import ChunkStreamBuilder, split_to_unit_limit
+from repro.wsc import EndToEndReceiver, encode_tpdu
+
+
+def build_tpdu(seed: int = 0):
+    builder = ChunkStreamBuilder(connection_id=0xA, tpdu_units=24)
+    rng = random.Random(seed)
+    chunks = []
+    for frame_id in range(3):
+        payload = bytes(rng.randrange(256) for _ in range(8 * 4))
+        chunks += builder.add_frame(payload, frame_id=frame_id)
+    _, ed = encode_tpdu(chunks)
+    return chunks, ed
+
+
+def deliver(chunks, ed, mangle=None, shuffle_seed=1):
+    """Fragment to single units, optionally corrupt one, shuffle, verify."""
+    pieces = [p for c in chunks for p in split_to_unit_limit(c, 2)]
+    if mangle is not None:
+        index, fn = mangle
+        pieces[index] = fn(pieces[index])
+    pieces.append(ed)
+    random.Random(shuffle_seed).shuffle(pieces)
+    receiver = EndToEndReceiver()
+    verdicts = []
+    for piece in pieces:
+        verdicts += receiver.receive(piece)
+    verdicts += receiver.abort_pending()
+    return verdicts
+
+
+def main() -> None:
+    chunks, ed = build_tpdu()
+
+    print("1. clean delivery, fragmented + shuffled:")
+    for verdict in deliver(chunks, ed):
+        print(f"   {verdict}")
+
+    print("\n2. payload bit flip -> error detection code:")
+    for verdict in deliver(
+        chunks, ed,
+        mangle=(3, lambda c: replace(c, payload=b"\xff" + c.payload[1:])),
+    ):
+        print(f"   {verdict}")
+
+    print("\n3. C.SN shifted -> consistency check (C.SN - T.SN changed):")
+    for verdict in deliver(
+        chunks, ed,
+        mangle=(4, lambda c: c.with_tuples(c=replace(c.c, sn=c.c.sn + 7))),
+    ):
+        print(f"   {verdict}")
+
+    print("\n4. T.SN and C.SN shifted together -> virtual reassembly error")
+    print("   (consistency holds, so the gap/overlap detector must fire):")
+    for verdict in deliver(
+        chunks, ed,
+        mangle=(
+            5,
+            lambda c: c.with_tuples(
+                t=replace(c.t, sn=c.t.sn + 40), c=replace(c.c, sn=c.c.sn + 40)
+            ),
+        ),
+    ):
+        print(f"   {verdict}")
+
+    print("\n5. X.ST bit cleared -> error detection code (Figure 6 encoding):")
+    target = next(
+        i
+        for i, p in enumerate(
+            q for c in chunks for q in split_to_unit_limit(c, 2)
+        )
+        if p.x.st
+    )
+    for verdict in deliver(
+        chunks, ed,
+        mangle=(target, lambda c: c.with_tuples(x=replace(c.x, st=False))),
+    ):
+        print(f"   {verdict}")
+
+
+if __name__ == "__main__":
+    main()

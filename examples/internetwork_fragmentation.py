@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Internetworking with chunks: Figure 4 live.
+
+A TPDU's chunks cross three networks — big MTU, tiny MTU, big MTU —
+with chunk routers re-enveloping at each boundary.  We run the path
+three times, once per Figure 4 strategy for the small->large boundary:
+
+  method 1 : one small chunk per large packet
+  method 2 : combine multiple chunks per large packet ("Repacked")
+  method 3 : chunk reassembly first ("Reassembled")
+
+All three are completely transparent to the receiver; they differ only
+in packet counts and header overhead, which this example prints.
+
+Run:  python examples/internetwork_fragmentation.py
+"""
+
+import random
+
+from repro.core import pack_chunks
+from repro.netsim import EventLoop, HopSpec, build_chunk_path
+from repro.transport import (
+    ChunkTransportReceiver,
+    ChunkTransportSender,
+    ConnectionConfig,
+)
+
+HOPS = [HopSpec(mtu=4096), HopSpec(mtu=296), HopSpec(mtu=4096)]
+
+
+def run(mode: str) -> dict:
+    loop = EventLoop()
+    receiver = ChunkTransportReceiver()
+    path = build_chunk_path(
+        loop,
+        HOPS,
+        lambda frame: receiver.receive_packet(frame),
+        mode=mode,
+        batch_window=0.0005,
+    )
+    sender = ChunkTransportSender(ConnectionConfig(connection_id=2, tpdu_units=512))
+    rng = random.Random(1)
+    payload = bytes(rng.randrange(256) for _ in range(24 * 1024))
+    chunks = [sender.establishment_chunk()] + sender.close(payload)
+    for packet in pack_chunks(chunks, 4096):
+        path.send(packet.encode())
+    path.run()
+    assert receiver.stream_bytes() == payload, "stream corrupted!"
+    last_link = path.links[-1]
+    middle_link = path.links[1]
+    return {
+        "mode": mode,
+        "payload": len(payload),
+        "small-net packets": middle_link.stats.frames_delivered,
+        "big-net packets": last_link.stats.frames_delivered,
+        "big-net bytes": last_link.stats.bytes_delivered,
+        "overhead %": 100
+        * (last_link.stats.bytes_delivered - len(payload))
+        / len(payload),
+        "verified": receiver.verified_tpdus(),
+        "corrupted": receiver.corrupted_tpdus(),
+    }
+
+
+def main() -> None:
+    rows = [run(mode) for mode in ("one-per-packet", "repack", "reassemble")]
+    keys = list(rows[0].keys())
+    widths = [max(len(str(r[k])) for r in rows + [dict(zip(keys, keys))]) for k in keys]
+    print("  ".join(k.ljust(w) for k, w in zip(keys, widths)))
+    for row in rows:
+        print("  ".join(
+            (f"{row[k]:.1f}" if isinstance(row[k], float) else str(row[k])).ljust(w)
+            for k, w in zip(keys, widths)
+        ))
+    print("\nAll three modes delivered a byte-exact, fully verified stream;")
+    print("reassembly (method 3) minimizes big-network packets and bytes,")
+    print("exactly as Section 3.1 describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — a reproduction of Feldmeier, "A Data Labelling Technique for
+High-Performance Protocol Processing and Its Consequences" (SIGCOMM '93).
+
+Subpackages:
+
+- :mod:`repro.core` — chunks, fragmentation, reassembly, packets, wire
+  codec, virtual reassembly, header compression;
+- :mod:`repro.wsc` — GF(2^32), the WSC-2 code, the fragmentation-
+  invariant TPDU layout, and the end-to-end verification matrix;
+- :mod:`repro.netsim` — the discrete-event network substrate (links,
+  multipath skew, chunk-aware routers);
+- :mod:`repro.baselines` — IP fragmentation, XTP, AAL5/AAL3-4, an
+  in-order transport, and the Appendix B framing matrix;
+- :mod:`repro.host` — bus cost model, the three receiver strategies,
+  Integrated Layer Processing, placement buffers;
+- :mod:`repro.transport` — a chunk transport (sender/receiver) with
+  per-TPDU WSC-2 and identifier-preserving retransmission;
+- :mod:`repro.crypto` — XTEA and order-(in)dependent cipher modes;
+- :mod:`repro.app` — bulk transfer and video playout applications.
+
+Quickstart::
+
+    from repro.transport import ConnectionConfig, ChunkTransportSender
+    from repro.transport import ChunkTransportReceiver
+    from repro.core import pack_chunks
+
+    config = ConnectionConfig(connection_id=7, tpdu_units=64)
+    sender = ChunkTransportSender(config)
+    receiver = ChunkTransportReceiver()
+
+    chunks = [sender.establishment_chunk()]
+    chunks += sender.send_frame(b"hello world!" * 64)
+    for packet in pack_chunks(chunks, mtu=576):
+        receiver.receive_packet(packet.encode())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,8 @@
+"""The paper's motivating applications: bulk transfer into an address
+space and video frame placement — both able to consume disordered data.
+"""
+
+from repro.app.bulk import BulkTransferApp
+from repro.app.video import PlayoutRecord, VideoPlayoutApp
+
+__all__ = ["BulkTransferApp", "VideoPlayoutApp", "PlayoutRecord"]

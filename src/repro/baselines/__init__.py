@@ -1,0 +1,105 @@
+"""Baseline protocols the paper compares chunks against (Appendix B,
+Sections 3.2-3.3): IP fragmentation with bounded reassembly buffers,
+the XTP shrink-the-PDU approach and SUPER packets, AAL5 / AAL3-4 cell
+framing, a conventional reorder-before-process transport, and the
+Appendix B framing-feature matrix.
+"""
+
+from repro.baselines.aal import (
+    CELL_PAYLOAD,
+    Aal34Cell,
+    Aal34Reassembler,
+    Aal5Cell,
+    Aal5Reassembler,
+    SegmentType,
+    aal34_segment,
+    aal5_segment,
+)
+from repro.baselines.axon import (
+    AxonFraming,
+    NotNestedError,
+    boundaries_from_chunks,
+    is_nested,
+)
+from repro.baselines.flagstream import (
+    FLAG_BEGIN,
+    FLAG_END,
+    FlagStreamDecoder,
+    encode_frames,
+)
+from repro.baselines.framing_info import (
+    FIELDS,
+    PROTOCOLS,
+    Presence,
+    ProtocolFraming,
+    matrix_rows,
+)
+from repro.baselines.inorder import (
+    SEGMENT_HEADER_BYTES,
+    InOrderReceiver,
+    InOrderStats,
+    Segment,
+    segment_stream,
+)
+from repro.baselines.pathmtu import PathMtuProber, PmtuSender
+from repro.baselines.ipfrag import (
+    FRAG_UNIT,
+    IP_HEADER_BYTES,
+    IpFragment,
+    IpReassembler,
+    ReassemblyBufferStats,
+    fragment_datagram,
+    refragment,
+)
+from repro.baselines.xtp import (
+    XTP_HEADER_BYTES,
+    XTP_TRAILER_BYTES,
+    SuperPacket,
+    XtpPdu,
+    packetize,
+    repacketize,
+)
+
+__all__ = [
+    "IP_HEADER_BYTES",
+    "FRAG_UNIT",
+    "IpFragment",
+    "fragment_datagram",
+    "refragment",
+    "IpReassembler",
+    "ReassemblyBufferStats",
+    "XTP_HEADER_BYTES",
+    "XTP_TRAILER_BYTES",
+    "XtpPdu",
+    "packetize",
+    "repacketize",
+    "SuperPacket",
+    "CELL_PAYLOAD",
+    "Aal5Cell",
+    "aal5_segment",
+    "Aal5Reassembler",
+    "SegmentType",
+    "Aal34Cell",
+    "aal34_segment",
+    "Aal34Reassembler",
+    "Segment",
+    "segment_stream",
+    "SEGMENT_HEADER_BYTES",
+    "InOrderReceiver",
+    "InOrderStats",
+    "PathMtuProber",
+    "PmtuSender",
+    "AxonFraming",
+    "NotNestedError",
+    "boundaries_from_chunks",
+    "is_nested",
+    "FLAG_BEGIN",
+    "FLAG_END",
+    "FlagStreamDecoder",
+    "encode_frames",
+    "Presence",
+    "ProtocolFraming",
+    "PROTOCOLS",
+    "FIELDS",
+    "matrix_rows",
+]

@@ -1,0 +1,92 @@
+"""Axon-style hierarchical framing (Appendix B).
+
+"Axon [STER 90] provides several levels of framing.  Each level of
+framing has an SN (index) and ST bit (limit).  However, not all levels
+of framing have an ID, which means that some frames are assumed to be
+hierarchically nested.  Chunks allow the use of completely independent
+frames at all levels."
+
+This module makes the representability difference concrete.  An
+:class:`AxonFraming` describes a stream by per-level boundary positions
+*without IDs*; construction verifies the nesting requirement — every
+lower-level frame must lie entirely inside one higher-level frame —
+and raises :class:`NotNestedError` otherwise.  The Figure 1 stream
+(external PDUs crossing TPDU boundaries) is precisely such a
+non-nested framing: chunks carry it (independent (ID, SN, ST) tuples),
+Axon-style ID-less framing cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chunk import Chunk
+from repro.core.errors import ReproError
+
+__all__ = ["NotNestedError", "AxonFraming", "boundaries_from_chunks", "is_nested"]
+
+
+class NotNestedError(ReproError):
+    """A lower-level frame straddles a higher-level frame boundary."""
+
+
+def is_nested(outer_bounds: list[int], inner_bounds: list[int]) -> bool:
+    """May frames ending at *inner_bounds* nest inside frames ending at
+    *outer_bounds*?  (Bounds are exclusive end positions, ascending.)
+
+    Nesting holds iff every outer boundary is also an inner boundary —
+    i.e. no inner frame crosses an outer frame edge.
+    """
+    inner = set(inner_bounds)
+    return all(bound in inner for bound in outer_bounds)
+
+
+@dataclass(frozen=True)
+class AxonFraming:
+    """ID-less multi-level framing over one stream of *total* units.
+
+    Levels are ordered outermost first; each level is its list of frame
+    end positions (exclusive, ascending, final one == total).
+    """
+
+    total: int
+    levels: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        for index, bounds in enumerate(self.levels):
+            if not bounds or bounds[-1] != self.total:
+                raise ReproError(f"level {index} does not cover the stream")
+            if list(bounds) != sorted(set(bounds)):
+                raise ReproError(f"level {index} bounds not strictly ascending")
+        for outer, inner in zip(self.levels, self.levels[1:]):
+            if not is_nested(list(outer), list(inner)):
+                raise NotNestedError(
+                    "Axon-style ID-less framing requires hierarchical "
+                    "nesting; a lower-level frame crosses a higher-level "
+                    "boundary (use chunks' independent per-level IDs instead)"
+                )
+
+    def frame_of(self, level: int, unit: int) -> int:
+        """Index of the level-*level* frame containing *unit* —
+        recoverable without IDs only because nesting holds."""
+        bounds = self.levels[level]
+        for index, bound in enumerate(bounds):
+            if unit < bound:
+                return index
+        raise IndexError(unit)
+
+
+def boundaries_from_chunks(chunks: list[Chunk]) -> tuple[list[int], list[int]]:
+    """Extract (T-level, X-level) frame end positions, in connection
+    units, from a chunk stream — the shape Axon would have to encode."""
+    t_bounds: list[int] = []
+    x_bounds: list[int] = []
+    for chunk in chunks:
+        if not chunk.is_data:
+            continue
+        end = chunk.c.sn + chunk.length
+        if chunk.t.st:
+            t_bounds.append(end)
+        if chunk.x.st:
+            x_bounds.append(end)
+    return sorted(t_bounds), sorted(x_bounds)

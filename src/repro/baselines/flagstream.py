@@ -1,0 +1,96 @@
+"""Flag-in-stream framing (the Delta-t / URP style of Appendix B).
+
+"Generally, framing information is provided in two ways: header fields,
+or flags/symbols in the data stream.  The advantage of using header
+fields is that we need not parse the data stream for flags.  The
+advantage of flags is that multiple frames can be delimited within a
+single packet.  Chunks provide the best of both worlds..."
+
+This module implements the flags side so the trade-off is measurable:
+frames are delimited by B (begin) and E (end) symbols carried *inside*
+the byte stream (Delta-t's B/E, URP's BOT, HDLC's flag byte), with
+escape stuffing so payload bytes that collide with the flag values
+survive.  Decoding therefore must examine **every payload byte**; the
+APP-B bench counts exactly that against the chunk receiver, which reads
+headers only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FLAG_BEGIN", "FLAG_END", "FLAG_ESCAPE", "encode_frames", "FlagStreamDecoder"]
+
+FLAG_BEGIN = 0x7B   # B symbol
+FLAG_END = 0x7D     # E symbol
+FLAG_ESCAPE = 0x7C  # escape prefix
+_SPECIAL = {FLAG_BEGIN, FLAG_END, FLAG_ESCAPE}
+
+
+def encode_frames(frames: list[bytes]) -> bytes:
+    """Delimit *frames* with in-stream B/E symbols, escape-stuffing
+    payload bytes that collide with the three special values."""
+    out = bytearray()
+    for frame in frames:
+        out.append(FLAG_BEGIN)
+        for byte in frame:
+            if byte in _SPECIAL:
+                out.append(FLAG_ESCAPE)
+                out.append(byte ^ 0x20)
+            else:
+                out.append(byte)
+        out.append(FLAG_END)
+    return bytes(out)
+
+
+@dataclass
+class FlagStreamDecoder:
+    """Incremental B/E-flag frame decoder.
+
+    Feed arbitrary byte slices; completed frames come back.  The
+    instrumented counter records how many bytes the parser *examined*,
+    which for flag framing is every single byte of the stream — the
+    cost Appendix B's header-field argument is about.  Misordered input
+    produces garbage frames (flags carry no sequence information),
+    which is the other half of the comparison.
+    """
+
+    frames: list[bytes] = field(default_factory=list)
+    bytes_examined: int = field(default=0, init=False)
+    garbage_bytes: int = field(default=0, init=False)
+    _current: bytearray | None = field(default=None, init=False)
+    _escaped: bool = field(default=False, init=False)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Parse *data*; returns frames completed by this call."""
+        completed: list[bytes] = []
+        for byte in data:
+            self.bytes_examined += 1
+            if self._escaped:
+                if self._current is not None:
+                    self._current.append(byte ^ 0x20)
+                else:
+                    self.garbage_bytes += 1
+                self._escaped = False
+                continue
+            if byte == FLAG_ESCAPE:
+                self._escaped = True
+                continue
+            if byte == FLAG_BEGIN:
+                if self._current is not None:
+                    # Frame restarted without E: drop the partial frame.
+                    self.garbage_bytes += len(self._current)
+                self._current = bytearray()
+                continue
+            if byte == FLAG_END:
+                if self._current is not None:
+                    frame = bytes(self._current)
+                    self.frames.append(frame)
+                    completed.append(frame)
+                    self._current = None
+                continue
+            if self._current is not None:
+                self._current.append(byte)
+            else:
+                self.garbage_bytes += 1  # bytes outside any frame
+        return completed

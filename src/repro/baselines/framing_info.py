@@ -1,0 +1,203 @@
+"""The Appendix B framing-feature matrix as queryable data.
+
+Appendix B compares how each protocol carries the chunk header's
+information: explicitly in header fields, implicitly (derived from
+position, other fields, or the channel), or not at all.  This module
+encodes that comparison so the APP-B bench can print it, and so tests
+can assert the chunk column is the only fully explicit one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Presence", "ProtocolFraming", "PROTOCOLS", "FIELDS", "matrix_rows"]
+
+
+class Presence(enum.Enum):
+    """How a protocol carries one piece of framing information."""
+
+    EXPLICIT = "explicit"
+    IMPLICIT = "implicit"  # derivable from position/other fields/channel
+    ABSENT = "absent"
+
+    def symbol(self) -> str:
+        return {"explicit": "E", "implicit": "i", "absent": "-"}[self.value]
+
+
+#: The chunk-header fields of the comparison, in Table 1 order.
+FIELDS = (
+    "TYPE",
+    "SIZE",
+    "LEN",
+    "C.ID",
+    "C.SN",
+    "C.ST",
+    "T.ID",
+    "T.SN",
+    "T.ST",
+    "X.ID",
+    "X.SN",
+    "X.ST",
+)
+
+
+@dataclass(frozen=True)
+class ProtocolFraming:
+    """One protocol's row: Presence per chunk-equivalent field."""
+
+    name: str
+    reference: str
+    tolerates_misorder: bool
+    fields: dict[str, Presence]
+    notes: str = ""
+
+    def presence(self, field: str) -> Presence:
+        return self.fields.get(field, Presence.ABSENT)
+
+    def explicit_count(self) -> int:
+        return sum(1 for f in FIELDS if self.presence(f) is Presence.EXPLICIT)
+
+
+def _framing(**kwargs: str) -> dict[str, Presence]:
+    mapping = {"E": Presence.EXPLICIT, "i": Presence.IMPLICIT, "-": Presence.ABSENT}
+    return {key.replace("_", "."): mapping[val] for key, val in kwargs.items()}
+
+
+PROTOCOLS: tuple[ProtocolFraming, ...] = (
+    ProtocolFraming(
+        name="Chunks",
+        reference="this paper",
+        tolerates_misorder=True,
+        fields=_framing(
+            TYPE="E", SIZE="E", LEN="E",
+            C_ID="E", C_SN="E", C_ST="E",
+            T_ID="E", T_SN="E", T_ST="E",
+            X_ID="E", X_SN="E", X_ST="E",
+        ),
+        notes="explicit framing and type information for all PDU types",
+    ),
+    ProtocolFraming(
+        name="AAL5",
+        reference="[LYON 91]",
+        tolerates_misorder=False,
+        fields=_framing(
+            TYPE="i", SIZE="i", LEN="E",
+            C_ID="i", C_SN="-", C_ST="i",
+            T_ID="i", T_SN="i", T_ST="E",
+            X_ID="-", X_SN="-", X_ST="-",
+        ),
+        notes="one framing bit (~T.ST); start-of-frame inferred from previous end",
+    ),
+    ProtocolFraming(
+        name="AAL3/4",
+        reference="[DEPR 91]",
+        tolerates_misorder=False,
+        fields=_framing(
+            TYPE="i", SIZE="i", LEN="E",
+            C_ID="E", C_SN="E", C_ST="-",
+            T_ID="i", T_SN="i", T_ST="i",
+            X_ID="i", X_SN="i", X_ST="E",
+        ),
+        notes="MID=C.ID, 4-bit C.SN, BOM/COM/EOM; EOM ~ X.ST",
+    ),
+    ProtocolFraming(
+        name="HDLC",
+        reference="link-layer family",
+        tolerates_misorder=False,
+        fields=_framing(
+            TYPE="i", SIZE="i", LEN="i",
+            C_ID="E", C_SN="E", C_ST="i",
+            T_ID="i", T_SN="i", T_ST="i",
+            X_ID="i", X_SN="i", X_ST="E",
+        ),
+        notes="flags delimit frames; P/F bit usable as X.ST; C.ST = disconnect",
+    ),
+    ProtocolFraming(
+        name="URP",
+        reference="[FRAS 89]",
+        tolerates_misorder=False,
+        fields=_framing(
+            TYPE="i", SIZE="i", LEN="i",
+            C_ID="i", C_SN="E", C_ST="i",
+            T_ID="i", T_SN="i", T_ST="E",
+            X_ID="i", X_SN="i", X_ST="E",
+        ),
+        notes="BOT/BOTM markers delimit blocks and messages",
+    ),
+    ProtocolFraming(
+        name="IP",
+        reference="[POST 81]",
+        tolerates_misorder=True,
+        fields=_framing(
+            TYPE="i", SIZE="i", LEN="i",
+            C_ID="-", C_SN="-", C_ST="-",
+            T_ID="E", T_SN="E", T_ST="E",
+            X_ID="-", X_SN="-", X_ST="-",
+        ),
+        notes="identification/fragment-offset/more-fragments = one (ID,SN,ST)",
+    ),
+    ProtocolFraming(
+        name="VMTP",
+        reference="[CHER 86]",
+        tolerates_misorder=True,
+        fields=_framing(
+            TYPE="i", SIZE="i", LEN="i",
+            C_ID="i", C_SN="i", C_ST="-",
+            T_ID="i", T_SN="i", T_ST="i",
+            X_ID="E", X_SN="E", X_ST="E",
+        ),
+        notes="per-packet error detection; transaction id / segOffset / EOM",
+    ),
+    ProtocolFraming(
+        name="Axon",
+        reference="[STER 90]",
+        tolerates_misorder=True,
+        fields=_framing(
+            TYPE="i", SIZE="i", LEN="i",
+            C_ID="E", C_SN="E", C_ST="E",
+            T_ID="-", T_SN="E", T_ST="E",
+            X_ID="-", X_SN="E", X_ST="E",
+        ),
+        notes="index/limit per level but not all levels have IDs (nesting assumed)",
+    ),
+    ProtocolFraming(
+        name="Delta-t",
+        reference="[WATS 83]",
+        tolerates_misorder=True,  # for the C level only
+        fields=_framing(
+            TYPE="i", SIZE="i", LEN="i",
+            C_ID="E", C_SN="E", C_ST="-",
+            T_ID="i", T_SN="i", T_ST="i",
+            X_ID="i", X_SN="i", X_ST="E",
+        ),
+        notes="B/E symbols in the data stream delimit higher-level frames",
+    ),
+    ProtocolFraming(
+        name="XTP",
+        reference="[XTP 90]",
+        tolerates_misorder=True,
+        fields=_framing(
+            TYPE="i", SIZE="i", LEN="E",
+            C_ID="E", C_SN="E", C_ST="-",
+            T_ID="i", T_SN="i", T_ST="i",
+            X_ID="i", X_SN="i", X_ST="E",
+        ),
+        notes="BTAG/ETAG fields delimit messages (like Delta-t's B/E)",
+    ),
+)
+
+
+def matrix_rows() -> list[list[str]]:
+    """The comparison as printable rows: protocol, fields..., misorder."""
+    rows = [["protocol", *FIELDS, "misorder-ok"]]
+    for protocol in PROTOCOLS:
+        rows.append(
+            [
+                protocol.name,
+                *[protocol.presence(field).symbol() for field in FIELDS],
+                "yes" if protocol.tolerates_misorder else "no",
+            ]
+        )
+    return rows

@@ -1,0 +1,159 @@
+"""Path-MTU discovery: Kent & Mogul's no-fragmentation alternative (§3).
+
+"Kent and Mogul [KENT 87] argue against fragmentation and for a
+variation of option 4.  They suggested avoiding IP fragmentation by
+dynamically determining the minimum transmission unit (MTU) for a
+route."  The paper's rebuttals: discovery costs round trips, "there is
+no way to avoid the additional overhead of small packets if we must use
+a route with small packets", and alternate routing is sacrificed —
+a route change that lowers the path MTU silently black-holes traffic
+until the sender notices and re-probes.
+
+:class:`PathMtuProber` implements binary-search probing over a simulated
+path (oversize frames are dropped silently, as with IP DF);
+:class:`PmtuSender` transmits never-fragmenting packets at the
+discovered size and detects black holes by ack starvation, re-probing
+when one occurs.  The CLAIM-PMTU bench races this against a chunk path
+that simply fragments in the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.netsim.events import EventLoop
+
+__all__ = ["PathMtuProber", "PmtuSender"]
+
+
+@dataclass
+class PathMtuProber:
+    """Binary-search path-MTU discovery.
+
+    A probe of size S is sent; the path delivers it (echoed back by the
+    far end) iff S <= path MTU.  Undelivered probes cost a full timeout.
+
+    Attributes:
+        loop: event loop.
+        send_probe: callable (size, on_echo) — transmit a probe; the
+            far end invokes ``on_echo`` if the probe survived.
+        low / high: search bounds in bytes.
+        probe_timeout: seconds to wait before declaring a probe lost.
+    """
+
+    loop: EventLoop
+    send_probe: Callable[[int, Callable[[], None]], None]
+    low: int = 68
+    high: int = 65535
+    probe_timeout: float = 0.2
+
+    probes_sent: int = field(default=0, init=False)
+    probes_lost: int = field(default=0, init=False)
+
+    def discover(self, done: Callable[[int], None]) -> None:
+        """Run the search; calls ``done(path_mtu)`` when converged."""
+        self._search(self.low, self.high, done)
+
+    def _search(self, low: int, high: int, done: Callable[[int], None]) -> None:
+        if low >= high:
+            done(low)
+            return
+        candidate = (low + high + 1) // 2
+        self.probes_sent += 1
+        state = {"echoed": False}
+
+        def on_echo() -> None:
+            state["echoed"] = True
+            self._search(candidate, high, done)
+
+        def on_timeout() -> None:
+            if not state["echoed"]:
+                self.probes_lost += 1
+                self._search(low, candidate - 1, done)
+
+        self.send_probe(candidate, on_echo)
+        self.loop.schedule(self.probe_timeout, on_timeout)
+
+
+@dataclass
+class PmtuSender:
+    """Never-fragment sender driven by discovered path MTU.
+
+    Sends fixed-size packets at the discovered MTU; if *ack* silence
+    exceeds ``blackhole_timeout`` while data is outstanding, assumes the
+    route changed under it (packets silently dropped as too big),
+    re-probes, and resumes at the new size.  The statistics quantify
+    the §3 criticism: discovery delay up front and a stall plus wasted
+    transmissions at every MTU-lowering route change.
+    """
+
+    loop: EventLoop
+    prober: PathMtuProber
+    transmit: Callable[[bytes, Callable[[], None]], None]
+    #: called when a data packet is acknowledged end to end.
+    blackhole_timeout: float = 0.4
+
+    path_mtu: int = field(default=0, init=False)
+    discovery_time: float = field(default=0.0, init=False)
+    stall_time: float = field(default=0.0, init=False)
+    packets_blackholed: int = field(default=0, init=False)
+    reprobes: int = field(default=0, init=False)
+    bytes_delivered: int = field(default=0, init=False)
+
+    _pending: list[bytes] = field(default_factory=list, init=False)
+    _probing: bool = field(default=False, init=False)
+
+    def start(self, payload: bytes, on_done: Callable[[], None]) -> None:
+        """Discover, then stream *payload* in MTU-sized packets."""
+        self._on_done = on_done
+        self._payload = payload
+        self._offset = 0
+        started = self.loop.now
+        self._probing = True
+
+        def discovered(mtu: int) -> None:
+            self.path_mtu = mtu
+            self.discovery_time += self.loop.now - started
+            self._probing = False
+            self._send_next()
+
+        self.prober.discover(discovered)
+
+    # ------------------------------------------------------------------
+
+    def _send_next(self) -> None:
+        if self._offset >= len(self._payload):
+            self._on_done()
+            return
+        size = min(self.path_mtu, len(self._payload) - self._offset)
+        packet = self._payload[self._offset : self._offset + size]
+        acked = {"ok": False}
+        sent_at = self.loop.now
+
+        def on_ack() -> None:
+            acked["ok"] = True
+            self._offset += len(packet)
+            self.bytes_delivered += len(packet)
+            self._send_next()
+
+        def on_silence() -> None:
+            if acked["ok"] or self._probing:
+                return
+            # Black hole: the packet vanished without an error signal.
+            self.packets_blackholed += 1
+            self.stall_time += self.loop.now - sent_at
+            self.reprobes += 1
+            self._probing = True
+            restarted = self.loop.now
+
+            def rediscovered(mtu: int) -> None:
+                self.path_mtu = mtu
+                self.discovery_time += self.loop.now - restarted
+                self._probing = False
+                self._send_next()
+
+            self.prober.discover(rediscovered)
+
+        self.transmit(packet, on_ack)
+        self.loop.schedule(self.blackhole_timeout, on_silence)

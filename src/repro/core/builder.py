@@ -1,0 +1,223 @@
+"""Building chunks from labelled data streams (Figures 1 and 2).
+
+Conceptually "each piece of data is labelled with a TYPE field and
+multiple (ID, SN, ST) tuples", and "a group of data with contiguous
+sequence numbers that have identical TYPE and IDs can share a single
+header.  Thus, a chunk is a group of data, along with a single header to
+label the data" (Section 2).
+
+Two layers are provided:
+
+- :func:`chunks_from_labels` — the grouping rule itself: per-unit labels
+  in, maximally shared chunk headers out (this regenerates the worked
+  example of Figure 2 exactly);
+- :class:`ChunkStreamBuilder` — a sender-side framer that takes a stream
+  of external PDUs (application frames, the ALF level), cuts transport
+  PDUs every ``tpdu_units`` data units, and emits the chunks.  The two
+  framings are independent, as in Figure 1: one external PDU may span
+  several TPDUs and vice versa.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.chunk import Chunk
+from repro.core.errors import ChunkError
+from repro.core.tuples import FramingTuple
+from repro.core.types import WORD_BYTES, ChunkType
+
+__all__ = ["LabeledUnit", "chunks_from_labels", "ChunkStreamBuilder"]
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledUnit:
+    """One atomic data unit with its full set of framing labels."""
+
+    data: bytes
+    c: FramingTuple
+    t: FramingTuple
+    x: FramingTuple
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.data) != self.size * WORD_BYTES:
+            raise ChunkError(
+                f"unit data is {len(self.data)} bytes; SIZE={self.size} "
+                f"requires {self.size * WORD_BYTES}"
+            )
+
+
+def _extends(run_last: LabeledUnit, unit: LabeledUnit) -> bool:
+    """May *unit* join a run whose last element is *run_last*?
+
+    Requires identical SIZE and IDs, SNs contiguous at every level, and
+    that the run's current last unit carries no ST bit (an ST bit can
+    only sit on the final unit of a chunk).
+    """
+    if unit.size != run_last.size:
+        return False
+    if run_last.c.st or run_last.t.st or run_last.x.st:
+        return False
+    return (
+        unit.c.follows(run_last.c, 1)
+        and unit.t.follows(run_last.t, 1)
+        and unit.x.follows(run_last.x, 1)
+    )
+
+
+def chunks_from_labels(units: Iterable[LabeledUnit]) -> list[Chunk]:
+    """Group per-unit labels into maximally shared chunk headers."""
+    chunks: list[Chunk] = []
+    run: list[LabeledUnit] = []
+
+    def flush() -> None:
+        if not run:
+            return
+        first, last = run[0], run[-1]
+        chunks.append(
+            Chunk(
+                type=ChunkType.DATA,
+                size=first.size,
+                length=len(run),
+                c=FramingTuple(first.c.ident, first.c.sn, last.c.st),
+                t=FramingTuple(first.t.ident, first.t.sn, last.t.st),
+                x=FramingTuple(first.x.ident, first.x.sn, last.x.st),
+                payload=b"".join(u.data for u in run),
+            )
+        )
+        run.clear()
+
+    for unit in units:
+        if run and not _extends(run[-1], unit):
+            flush()
+        run.append(unit)
+    flush()
+    return chunks
+
+
+@dataclass
+class ChunkStreamBuilder:
+    """Sender-side framer: external PDUs in, chunks out.
+
+    The builder maintains three independent framings over one
+    uni-directional data stream (Section 2 treats the whole connection
+    as one large PDU):
+
+    - connection: ``C.ID`` fixed, ``C.SN`` monotonically increasing;
+    - TPDU: a new ``T.ID`` every ``tpdu_units`` data units, ``T.SN``
+      restarting at zero (first piece of a PDU has SN zero).  Changing
+      ``tpdu_units`` takes effect at the next TPDU boundary, which is
+      what lets a transport "reduce its TPDU size to match the observed
+      network error rate" (Section 3);
+    - external PDU: one ``X.ID`` per frame handed to :meth:`add_frame`,
+      ``X.SN`` restarting at zero.
+
+    Frame payloads must be a whole number of atomic units
+    (``unit_words * 4`` bytes each); ciphertext callers pad upstream.
+    """
+
+    connection_id: int
+    tpdu_units: int
+    unit_words: int = 1
+    start_c_sn: int = 0
+    tpdu_ids: Iterator[int] = None  # type: ignore[assignment]
+    xpdu_ids: Iterator[int] = None  # type: ignore[assignment]
+
+    _c_sn: int = field(init=False)
+    _t_id: int = field(init=False)
+    _t_sn: int = field(init=False, default=0)
+    _current_tpdu_units: int = field(init=False)
+    _closed: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        if self.tpdu_units < 1:
+            raise ChunkError(f"tpdu_units must be >= 1, got {self.tpdu_units}")
+        if self.unit_words < 1:
+            raise ChunkError(f"unit_words must be >= 1, got {self.unit_words}")
+        if self.tpdu_ids is None:
+            self.tpdu_ids = itertools.count()
+        if self.xpdu_ids is None:
+            self.xpdu_ids = itertools.count()
+        self._c_sn = self.start_c_sn
+        self._t_id = next(self.tpdu_ids)
+        self._current_tpdu_units = self.tpdu_units
+
+    def set_tpdu_units(self, units: int) -> None:
+        """Change the TPDU size from the *next* TPDU onward (Section 3)."""
+        if units < 1:
+            raise ChunkError(f"tpdu_units must be >= 1, got {units}")
+        self.tpdu_units = units
+        if self._t_sn == 0:
+            # No data in the current TPDU yet: apply immediately.
+            self._current_tpdu_units = units
+
+    @property
+    def unit_bytes(self) -> int:
+        return self.unit_words * WORD_BYTES
+
+    def add_frame(
+        self,
+        payload: bytes,
+        frame_id: int | None = None,
+        end_of_connection: bool = False,
+    ) -> list[Chunk]:
+        """Frame one external PDU and return its chunks.
+
+        *end_of_connection* sets the C.ST bit on the final data unit
+        (Section 2: the last piece of data of a PDU — here the
+        connection — is indicated by a set ST bit) and also closes any
+        partially filled TPDU by setting its T.ST bit.
+        """
+        if self._closed:
+            raise ChunkError("builder is closed (end_of_connection already sent)")
+        if not payload:
+            raise ChunkError("external PDU payload must be non-empty")
+        if len(payload) % self.unit_bytes:
+            raise ChunkError(
+                f"frame of {len(payload)} bytes is not a whole number of "
+                f"{self.unit_bytes}-byte atomic units"
+            )
+        x_id = next(self.xpdu_ids) if frame_id is None else frame_id
+        n_units = len(payload) // self.unit_bytes
+        units: list[LabeledUnit] = []
+        for i in range(n_units):
+            last_of_frame = i == n_units - 1
+            last_of_tpdu = self._t_sn == self._current_tpdu_units - 1
+            if end_of_connection and last_of_frame:
+                last_of_tpdu = True
+            units.append(
+                LabeledUnit(
+                    data=payload[i * self.unit_bytes : (i + 1) * self.unit_bytes],
+                    c=FramingTuple(
+                        self.connection_id,
+                        self._c_sn,
+                        st=end_of_connection and last_of_frame,
+                    ),
+                    t=FramingTuple(self._t_id, self._t_sn, st=last_of_tpdu),
+                    x=FramingTuple(x_id, i, st=last_of_frame),
+                    size=self.unit_words,
+                )
+            )
+            self._c_sn += 1
+            if last_of_tpdu:
+                self._t_id = next(self.tpdu_ids)
+                self._t_sn = 0
+                self._current_tpdu_units = self.tpdu_units
+            else:
+                self._t_sn += 1
+        if end_of_connection:
+            self._closed = True
+        return chunks_from_labels(units)
+
+    @property
+    def current_tpdu_id(self) -> int:
+        """T.ID that the next data unit will carry."""
+        return self._t_id
+
+    @property
+    def next_c_sn(self) -> int:
+        """C.SN that the next data unit will carry."""
+        return self._c_sn

@@ -1,0 +1,144 @@
+"""The chunk: a completely self-describing piece of a PDU.
+
+Section 2 of the paper: "a chunk is a group of data, along with a single
+header to label the data.  The chunk header carries the TYPE and IDs
+shared by all data of the chunk, the SNs of the first data of the chunk,
+and the ST bits for the last data of the chunk.  In addition, the chunk
+header carries SIZE and LEN fields that indicate the size and number of
+the data pieces in the chunk."
+
+Our :class:`Chunk` carries exactly those fields at the three framing
+levels of the paper's worked example (connection C, transport PDU T,
+external PDU X) plus the payload bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.errors import ChunkError
+from repro.core.tuples import FramingTuple
+from repro.core.types import WORD_BYTES, HEADER_BYTES, ChunkType
+
+__all__ = ["Chunk"]
+
+
+@dataclass(frozen=True, slots=True)
+class Chunk:
+    """A self-describing chunk.
+
+    Attributes:
+        type: how the payload is processed (:class:`ChunkType`).
+        size: words (32-bit symbols) per atomic data unit.  The SIZE
+            field guarantees atomic units are never split by
+            fragmentation (e.g. 64-bit cipher blocks have ``size=2``).
+        length: number of atomic data units in the payload (the LEN
+            field).  For control chunks, the payload word count (control
+            is indivisible, so LEN never changes in flight).
+        c: connection-level framing tuple.
+        t: transport-PDU framing tuple.
+        x: external-PDU (application frame / ALF) framing tuple.
+        payload: the data, exactly ``length * size * 4`` bytes.
+    """
+
+    type: ChunkType
+    size: int
+    length: int
+    c: FramingTuple
+    t: FramingTuple
+    x: FramingTuple
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ChunkError(f"SIZE must be >= 1 word, got {self.size}")
+        if self.length < 1:
+            raise ChunkError(f"LEN must be >= 1 unit, got {self.length}")
+        expected = self.length * self.unit_bytes if self.is_data else self.length * WORD_BYTES
+        if len(self.payload) != expected:
+            raise ChunkError(
+                f"payload is {len(self.payload)} bytes, but "
+                f"LEN={self.length} x SIZE={self.size} requires {expected}"
+            )
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def is_data(self) -> bool:
+        """True for DATA chunks; False for (indivisible) control chunks."""
+        return self.type is ChunkType.DATA
+
+    @property
+    def is_control(self) -> bool:
+        return not self.is_data
+
+    @property
+    def unit_bytes(self) -> int:
+        """Bytes per atomic data unit (SIZE expressed in bytes)."""
+        return self.size * WORD_BYTES
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes this chunk occupies on the wire (fixed-field header)."""
+        return HEADER_BYTES + len(self.payload)
+
+    @property
+    def words(self) -> int:
+        """Payload length in 32-bit symbols."""
+        return len(self.payload) // WORD_BYTES
+
+    # ------------------------------------------------------------------
+    # Unit access (used by fragmentation and the host processing model)
+    # ------------------------------------------------------------------
+
+    def unit(self, index: int) -> bytes:
+        """Payload bytes of atomic unit *index* (0 <= index < length)."""
+        if not 0 <= index < self.length:
+            raise IndexError(f"unit {index} out of range 0..{self.length - 1}")
+        start = index * self.unit_bytes
+        return self.payload[start : start + self.unit_bytes]
+
+    def units(self) -> list[bytes]:
+        """All atomic units, in order."""
+        return [self.unit(i) for i in range(self.length)] if self.is_data else [self.payload]
+
+    # ------------------------------------------------------------------
+    # Derived labels
+    # ------------------------------------------------------------------
+
+    def tuple_for(self, level: str) -> FramingTuple:
+        """Framing tuple for level ``"c"``, ``"t"`` or ``"x"``."""
+        try:
+            return {"c": self.c, "t": self.t, "x": self.x}[level]
+        except KeyError:
+            raise ChunkError(f"unknown framing level {level!r}") from None
+
+    def with_tuples(
+        self,
+        c: FramingTuple | None = None,
+        t: FramingTuple | None = None,
+        x: FramingTuple | None = None,
+    ) -> "Chunk":
+        """Copy of this chunk with some framing tuples replaced."""
+        return replace(
+            self,
+            c=c if c is not None else self.c,
+            t=t if t is not None else self.t,
+            x=x if x is not None else self.x,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-liner in the style of Figure 2's header box."""
+        return (
+            f"TYPE={self.type.name} SIZE={self.size} LEN={self.length} "
+            f"C={self.c} T={self.t} X={self.x}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()

@@ -1,0 +1,186 @@
+"""Binary wire format for chunks and packets.
+
+This is the "simple version of chunks ... easy to parse because of their
+fixed-field format" (Appendix A).  Every chunk header is 44 bytes:
+
+    offset  field   size  notes
+    0       TYPE    1     ChunkType; 0 is reserved as sentinel
+    1       FLAGS   1     bit0=C.ST, bit1=T.ST, bit2=X.ST
+    2       SIZE    2     words per atomic unit (big-endian)
+    4       LEN     4     atomic units; 0 marks end-of-packet sentinel
+    8       C.ID    4     connection id
+    12      C.SN    8     connection sequence number
+    20      T.ID    4     transport-PDU id
+    24      T.SN    8     TPDU sequence number
+    32      X.ID    4     external-PDU id
+    36      X.SN    8     external-PDU sequence number
+    44      payload LEN * SIZE * 4 bytes (LEN * 4 for control chunks)
+
+All integers are big-endian (network byte order).  A packet is a 4-byte
+envelope header followed by whole chunks; a LEN=0 sentinel header ends
+the chunk list early when the packet carries trailing padding
+(Section 2: "A chunk with LEN=0 is placed after the last valid chunk in
+the packet").
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.chunk import Chunk
+from repro.core.errors import CodecError
+from repro.core.tuples import FramingTuple
+from repro.core.types import (
+    HEADER_BYTES,
+    PACKET_HEADER_BYTES,
+    WORD_BYTES,
+    ChunkType,
+)
+
+__all__ = [
+    "encode_chunk",
+    "decode_chunk",
+    "encode_chunks",
+    "decode_chunks",
+    "SENTINEL_HEADER",
+    "PACKET_MAGIC",
+    "encode_packet_header",
+    "decode_packet_header",
+]
+
+_HEADER = struct.Struct(">BBHIIQIQIQ")
+assert _HEADER.size == HEADER_BYTES
+
+_FLAG_C_ST = 0x01
+_FLAG_T_ST = 0x02
+_FLAG_X_ST = 0x04
+
+#: 44 zero bytes: TYPE=0 and LEN=0 both mark "no more chunks".
+SENTINEL_HEADER = b"\x00" * HEADER_BYTES
+
+#: Packet envelope magic ("chunk" / SIGCOMM '93).
+PACKET_MAGIC = 0xC493
+
+_PACKET_HEADER = struct.Struct(">HBB")
+assert _PACKET_HEADER.size == PACKET_HEADER_BYTES
+
+
+def encode_chunk(chunk: Chunk) -> bytes:
+    """Serialize one chunk (header + payload) to bytes."""
+    flags = (
+        (_FLAG_C_ST if chunk.c.st else 0)
+        | (_FLAG_T_ST if chunk.t.st else 0)
+        | (_FLAG_X_ST if chunk.x.st else 0)
+    )
+    header = _HEADER.pack(
+        int(chunk.type),
+        flags,
+        chunk.size,
+        chunk.length,
+        chunk.c.ident,
+        chunk.c.sn,
+        chunk.t.ident,
+        chunk.t.sn,
+        chunk.x.ident,
+        chunk.x.sn,
+    )
+    return header + chunk.payload
+
+
+def decode_chunk(data: bytes, offset: int = 0) -> tuple[Chunk | None, int]:
+    """Decode one chunk starting at *offset*.
+
+    Returns ``(chunk, next_offset)``.  Returns ``(None, next_offset)``
+    when a sentinel header (TYPE=0 or LEN=0) is found, or when fewer
+    than a full header's worth of bytes remain (trailing padding).
+
+    Raises:
+        CodecError: on malformed headers or truncated payloads.
+    """
+    if len(data) - offset < HEADER_BYTES:
+        return None, len(data)
+    (
+        raw_type,
+        flags,
+        size,
+        length,
+        c_id,
+        c_sn,
+        t_id,
+        t_sn,
+        x_id,
+        x_sn,
+    ) = _HEADER.unpack_from(data, offset)
+    if raw_type == 0 or length == 0:
+        return None, offset + HEADER_BYTES
+    try:
+        chunk_type = ChunkType(raw_type)
+    except ValueError:
+        raise CodecError(f"unknown chunk TYPE {raw_type:#x} at offset {offset}") from None
+    if size == 0:
+        raise CodecError(f"SIZE=0 in non-sentinel chunk at offset {offset}")
+    unit_bytes = size * WORD_BYTES if chunk_type is ChunkType.DATA else WORD_BYTES
+    payload_len = length * unit_bytes
+    start = offset + HEADER_BYTES
+    end = start + payload_len
+    if end > len(data):
+        raise CodecError(
+            f"truncated chunk payload: need {payload_len} bytes at offset "
+            f"{start}, have {len(data) - start}"
+        )
+    chunk = Chunk(
+        type=chunk_type,
+        size=size,
+        length=length,
+        c=FramingTuple(c_id, c_sn, bool(flags & _FLAG_C_ST)),
+        t=FramingTuple(t_id, t_sn, bool(flags & _FLAG_T_ST)),
+        x=FramingTuple(x_id, x_sn, bool(flags & _FLAG_X_ST)),
+        payload=bytes(data[start:end]),
+    )
+    return chunk, end
+
+
+def encode_chunks(chunks: list[Chunk], pad_to: int | None = None) -> bytes:
+    """Serialize a chunk sequence, optionally padding to a fixed size.
+
+    When *pad_to* is given and slack remains, a sentinel header is
+    written after the last chunk (if it fits) followed by zero fill, so
+    fixed-size envelopes (e.g. cell-like links) decode unambiguously.
+    """
+    body = b"".join(encode_chunk(chunk) for chunk in chunks)
+    if pad_to is None:
+        return body
+    if len(body) > pad_to:
+        raise CodecError(f"chunks occupy {len(body)} bytes > pad_to={pad_to}")
+    slack = pad_to - len(body)
+    if slack == 0:
+        return body
+    if slack >= HEADER_BYTES:
+        return body + SENTINEL_HEADER + b"\x00" * (slack - HEADER_BYTES)
+    return body + b"\x00" * slack
+
+
+def decode_chunks(data: bytes, offset: int = 0) -> list[Chunk]:
+    """Decode every chunk from *data*, honouring the sentinel."""
+    chunks: list[Chunk] = []
+    while offset < len(data):
+        chunk, offset = decode_chunk(data, offset)
+        if chunk is None:
+            break
+        chunks.append(chunk)
+    return chunks
+
+
+def encode_packet_header(flags: int = 0) -> bytes:
+    """Encode the 4-byte packet envelope header."""
+    return _PACKET_HEADER.pack(PACKET_MAGIC, flags, 0)
+
+
+def decode_packet_header(data: bytes) -> int:
+    """Validate the envelope header; returns the flags byte."""
+    if len(data) < PACKET_HEADER_BYTES:
+        raise CodecError("packet shorter than envelope header")
+    magic, flags, _reserved = _PACKET_HEADER.unpack_from(data, 0)
+    if magic != PACKET_MAGIC:
+        raise CodecError(f"bad packet magic {magic:#06x}")
+    return flags

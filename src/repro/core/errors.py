@@ -1,0 +1,59 @@
+"""Exception hierarchy for the chunk protocol library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+applications can catch a single base class.  The subclasses distinguish the
+three places where things can go wrong: building/validating chunks, moving
+them through fragmentation and reassembly, and decoding them off the wire.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ChunkError(ReproError):
+    """A chunk violates a structural invariant (bad LEN, SIZE, payload...)."""
+
+
+class FragmentationError(ReproError):
+    """A chunk cannot be fragmented as requested.
+
+    Raised, for example, when asked to split a control chunk (control
+    information is indivisible, Section 2 of the paper) or to split a data
+    chunk at a boundary that is not a multiple of its atomic unit SIZE.
+    """
+
+
+class ReassemblyError(ReproError):
+    """Two chunks are not adjacent/compatible and cannot be merged."""
+
+
+class CodecError(ReproError):
+    """Bytes on the wire do not decode to a valid chunk or packet."""
+
+
+class PacketError(ReproError):
+    """A packet cannot hold the requested chunks, or is malformed."""
+
+
+class VirtualReassemblyError(ReproError):
+    """Virtual reassembly detected an inconsistency (overlap mismatch...)."""
+
+
+class ErrorDetectionMismatch(ReproError):
+    """End-to-end error detection rejected a PDU.
+
+    Carries the *reason* classification used by the Table 1 reproduction:
+    ``"code-mismatch"``, ``"reassembly-error"`` or ``"consistency-check"``.
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+        self.detail = detail
+
+
+class SignalingError(ReproError):
+    """Connection signaling failed or arrived out of protocol."""

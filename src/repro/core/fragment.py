@@ -1,0 +1,123 @@
+"""Chunk fragmentation — the Appendix C algorithm.
+
+"If a chunk is longer than a packet, it can be split into smaller chunks
+that fit into packets...  Each fragmented chunk has the same TYPE, SIZE
+and ID fields as the original chunk.  The LEN and SN fields are adjusted
+appropriately to reflect the contents of the new chunk.  Only the chunk
+that contains the last data of the original chunk has its ST bits set to
+the values of the ST bits in the original chunk."
+
+The split never divides an atomic data unit: "The SIZE field assures that
+the atomic units of protocol data processing are not split."  Control
+chunks are indivisible and raise :class:`FragmentationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.chunk import Chunk
+from repro.core.errors import FragmentationError
+from repro.core.types import HEADER_BYTES
+
+__all__ = ["split", "split_to_unit_limit", "fragment_for_mtu"]
+
+
+def split(chunk: Chunk, new_len: int) -> tuple[Chunk, Chunk]:
+    """Split *chunk* into ``(chunk_a, chunk_b)`` after *new_len* units.
+
+    This is the Appendix C algorithm verbatim: ``chunk_a`` carries the
+    first *new_len* atomic units with all ST bits cleared; ``chunk_b``
+    carries the remainder with every SN advanced by *new_len* and the
+    original ST bits preserved.
+
+    Raises:
+        FragmentationError: if the chunk is control (indivisible), has
+            only one unit, or *new_len* does not leave both halves
+            non-empty.
+    """
+    if chunk.is_control:
+        raise FragmentationError(
+            f"control chunk (TYPE={chunk.type.name}) is indivisible"
+        )
+    if chunk.length <= 1:
+        raise FragmentationError("cannot split a single-unit chunk")
+    if not 0 < new_len < chunk.length:
+        raise FragmentationError(
+            f"new_len must be in 1..{chunk.length - 1}, got {new_len}"
+        )
+
+    cut = new_len * chunk.unit_bytes
+    chunk_a = replace(
+        chunk,
+        length=new_len,
+        c=chunk.c.head(),
+        t=chunk.t.head(),
+        x=chunk.x.head(),
+        payload=chunk.payload[:cut],
+    )
+    chunk_b = replace(
+        chunk,
+        length=chunk.length - new_len,
+        c=chunk.c.tail(new_len),
+        t=chunk.t.tail(new_len),
+        x=chunk.x.tail(new_len),
+        payload=chunk.payload[cut:],
+    )
+    return chunk_a, chunk_b
+
+
+def split_to_unit_limit(chunk: Chunk, max_units: int) -> list[Chunk]:
+    """Split *chunk* into pieces of at most *max_units* atomic units.
+
+    Appendix C notes the two-way split "can be repeated until each chunk
+    carries only a single unit of data"; this helper repeats it until
+    every piece fits the unit budget.  Control chunks pass through
+    unsplit if they fit, otherwise raise.
+    """
+    if max_units < 1:
+        raise FragmentationError(f"max_units must be >= 1, got {max_units}")
+    if chunk.length <= max_units:
+        return [chunk]
+    if chunk.is_control:
+        raise FragmentationError(
+            f"control chunk of {chunk.length} words exceeds limit {max_units} "
+            "and control information is indivisible"
+        )
+    pieces: list[Chunk] = []
+    rest = chunk
+    while rest.length > max_units:
+        head, rest = split(rest, max_units)
+        pieces.append(head)
+    pieces.append(rest)
+    return pieces
+
+
+def fragment_for_mtu(chunk: Chunk, mtu: int, packet_overhead: int) -> list[Chunk]:
+    """Split *chunk* so each piece fits a packet of *mtu* bytes.
+
+    *packet_overhead* is the packet-envelope header size; each piece must
+    satisfy ``packet_overhead + HEADER_BYTES + payload <= mtu``.  This is
+    the "empty chunks from one size of envelope into another" operation
+    of Section 3.1, for the case where the target envelope is smaller.
+
+    Raises:
+        FragmentationError: if even a single atomic unit cannot fit
+            (the network's MTU is below the protocol's atomic unit), or
+            if an indivisible control chunk does not fit.
+    """
+    budget = mtu - packet_overhead - HEADER_BYTES
+    if chunk.payload_bytes <= budget:
+        return [chunk]
+    if chunk.is_control:
+        raise FragmentationError(
+            f"control chunk needs {chunk.payload_bytes} payload bytes but "
+            f"MTU {mtu} leaves only {budget}"
+        )
+    max_units = budget // chunk.unit_bytes
+    if max_units < 1:
+        raise FragmentationError(
+            f"MTU {mtu} cannot carry even one {chunk.unit_bytes}-byte "
+            f"atomic unit plus headers"
+        )
+    return split_to_unit_limit(chunk, max_units)

@@ -1,0 +1,22 @@
+"""Encryption substrate: the 64-bit-block constraint behind the SIZE
+field, with an order-dependent mode (CBC) and an order-independent
+position-keyed mode (the [FELD 92] direction the paper builds on).
+"""
+
+from repro.crypto.modes import (
+    CbcDisorderedDecryptor,
+    CbcMode,
+    PositionKeyedMode,
+    split_blocks,
+)
+from repro.crypto.xtea import BLOCK_BYTES, KEY_BYTES, Xtea
+
+__all__ = [
+    "Xtea",
+    "BLOCK_BYTES",
+    "KEY_BYTES",
+    "CbcMode",
+    "CbcDisorderedDecryptor",
+    "PositionKeyedMode",
+    "split_blocks",
+]

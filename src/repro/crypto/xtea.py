@@ -1,0 +1,56 @@
+"""XTEA: a 64-bit block cipher substrate.
+
+The paper's SIZE-field example is DES: "DES encryption works on 64-bit
+blocks and we do not want to split these blocks into two pieces that may
+arrive separately" (Section 2).  DES itself is irrelevant to that
+argument; XTEA is a compact, well-known 64-bit block cipher that is
+practical in pure Python and exercises the identical constraint
+(SIZE = 2 words per atomic unit).
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["BLOCK_BYTES", "KEY_BYTES", "Xtea"]
+
+BLOCK_BYTES = 8
+KEY_BYTES = 16
+
+_DELTA = 0x9E3779B9
+_MASK = 0xFFFFFFFF
+_BLOCK = struct.Struct(">II")
+
+
+class Xtea:
+    """XTEA with the standard 32 cycles (64 Feistel rounds)."""
+
+    def __init__(self, key: bytes, rounds: int = 32) -> None:
+        if len(key) != KEY_BYTES:
+            raise ValueError(f"XTEA key must be {KEY_BYTES} bytes, got {len(key)}")
+        self._key = struct.unpack(">IIII", key)
+        self.rounds = rounds
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_BYTES:
+            raise ValueError(f"block must be {BLOCK_BYTES} bytes, got {len(block)}")
+        v0, v1 = _BLOCK.unpack(block)
+        k = self._key
+        total = 0
+        for _ in range(self.rounds):
+            v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK
+            total = (total + _DELTA) & _MASK
+            v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))) & _MASK
+        return _BLOCK.pack(v0, v1)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_BYTES:
+            raise ValueError(f"block must be {BLOCK_BYTES} bytes, got {len(block)}")
+        v0, v1 = _BLOCK.unpack(block)
+        k = self._key
+        total = (_DELTA * self.rounds) & _MASK
+        for _ in range(self.rounds):
+            v1 = (v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))) & _MASK
+            total = (total - _DELTA) & _MASK
+            v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK
+        return _BLOCK.pack(v0, v1)

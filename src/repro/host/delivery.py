@@ -1,0 +1,135 @@
+"""Application address-space placement ("spatial reordering").
+
+Section 1: "Regardless of the order in which data arrive, they can be
+correctly placed in the application address space" (bulk transfer), and
+"data of an individual frame can be placed in the frame buffer as they
+arrive without reordering" (video).  Footnote 2 calls this *spatial*
+reordering versus conventional temporal reordering.
+
+:class:`PlacementBuffer` is one contiguous destination region with
+interval tracking; :class:`FrameStore` keys one buffer per external PDU
+(video frames, ALF frames) and reports frame-complete events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.intervals import IntervalSet
+
+__all__ = ["PlacementBuffer", "FrameStore"]
+
+
+@dataclass
+class PlacementBuffer:
+    """A destination region that accepts writes at arbitrary offsets.
+
+    *limit_bytes* bounds how far a write may extend the region; a
+    corrupted sequence number must not be able to demand a petabyte
+    allocation (callers treat the raised :class:`ValueError` as chunk
+    rejection, and the end-to-end verifier catches the corruption).
+    """
+
+    total_bytes: int | None = None
+    limit_bytes: int | None = 256 * 1024 * 1024
+    _data: bytearray = field(default_factory=bytearray)
+    _received: IntervalSet = field(default_factory=IntervalSet)
+    bytes_placed: int = 0
+    duplicate_bytes: int = 0
+
+    def place(self, offset: int, data: bytes) -> int:
+        """Write *data* at *offset*; returns the count of fresh bytes."""
+        if not data:
+            return 0
+        end = offset + len(data)
+        if self.total_bytes is not None and end > self.total_bytes:
+            raise ValueError(
+                f"write [{offset}, {end}) beyond region of {self.total_bytes} bytes"
+            )
+        if self.limit_bytes is not None and end > self.limit_bytes:
+            raise ValueError(
+                f"write [{offset}, {end}) beyond the {self.limit_bytes}-byte "
+                f"region limit (corrupted sequence number?)"
+            )
+        if len(self._data) < end:
+            self._data.extend(b"\x00" * (end - len(self._data)))
+        self._data[offset:end] = data
+        fresh = self._received.add(offset, end)
+        self.bytes_placed += fresh
+        self.duplicate_bytes += len(data) - fresh
+        return fresh
+
+    def is_complete(self) -> bool:
+        return (
+            self.total_bytes is not None
+            and self._received.is_complete(self.total_bytes)
+        )
+
+    def has_range(self, start: int, end: int) -> bool:
+        """True if every byte of ``[start, end)`` has been placed."""
+        return self._received.contains(start, end)
+
+    def missing(self) -> list[tuple[int, int]]:
+        horizon = self.total_bytes if self.total_bytes is not None else self._received.span_end
+        return self._received.missing(horizon)
+
+    def contents(self) -> bytes:
+        """The region's bytes (holes are zero-filled)."""
+        if self.total_bytes is not None and len(self._data) < self.total_bytes:
+            return bytes(self._data) + b"\x00" * (self.total_bytes - len(self._data))
+        return bytes(self._data)
+
+
+@dataclass
+class FrameStore:
+    """One placement buffer per frame id (the X framing level).
+
+    *max_frames* bounds concurrent per-frame state so corrupted X.IDs
+    cannot exhaust memory by naming unbounded fresh frames.
+    """
+
+    frames: dict[int, PlacementBuffer] = field(default_factory=dict)
+    completed: list[int] = field(default_factory=list)
+    max_frames: int = 4096
+    frame_limit_bytes: int | None = 64 * 1024 * 1024
+
+    def place(
+        self,
+        frame_id: int,
+        offset: int,
+        data: bytes,
+        last: bool = False,
+    ) -> bool:
+        """Place frame bytes; *last* marks the frame's final byte range.
+
+        Returns True exactly when this placement completes the frame.
+
+        Raises:
+            ValueError: the frame-count or per-frame size bound would be
+                exceeded (corrupted labels).
+        """
+        if frame_id not in self.frames and len(self.frames) >= self.max_frames:
+            raise ValueError(
+                f"more than {self.max_frames} concurrent frames "
+                f"(corrupted X.ID?)"
+            )
+        buffer = self.frames.setdefault(
+            frame_id, PlacementBuffer(limit_bytes=self.frame_limit_bytes)
+        )
+        buffer.place(offset, data)
+        if last:
+            buffer.total_bytes = offset + len(data)
+        if buffer.is_complete() and frame_id not in self.completed:
+            self.completed.append(frame_id)
+            return True
+        return False
+
+    def frame(self, frame_id: int) -> PlacementBuffer | None:
+        return self.frames.get(frame_id)
+
+    def pop_frame(self, frame_id: int) -> bytes:
+        """Remove and return a completed frame's bytes."""
+        buffer = self.frames.pop(frame_id)
+        if frame_id in self.completed:
+            self.completed.remove(frame_id)
+        return buffer.contents()

@@ -1,0 +1,145 @@
+"""Integrated Layer Processing (ILP).
+
+Section 1: "The idea of increasing protocol performance on RISC
+workstations by eliminating buffering in the protocol stack has been
+called Integrated Layer Processing (ILP) [CLAR 90], lazy message
+evaluation [O'MAL 91] and delayed evaluation [PEHR 92]."
+
+Chunks enable ILP because "a single context retrieval is required per
+chunk and the chunk payload is processed uniformly by all protocol
+functions" — so the checksum step, the decryption step and the copy
+into application memory can fuse into one pass over each word.
+
+:class:`WordFunction` is one protocol function expressed per-word;
+:func:`run_layered` applies the functions as separate full passes over
+the buffer (each pass reads and writes memory) while :func:`run_integrated`
+applies the whole stack inside a single loop (one read, one write).
+Both return identical results plus a :class:`TouchLedger`, so the
+CLAIM-ILP bench measures the memory-traffic ratio and wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.host.memory import TouchLedger
+from repro.wsc.gf32 import mul_alpha
+
+__all__ = [
+    "WordFunction",
+    "xor_decrypt_function",
+    "checksum_function",
+    "byteswap_function",
+    "run_layered",
+    "run_integrated",
+    "IlpResult",
+]
+
+
+@dataclass
+class WordFunction:
+    """One protocol function over 32-bit words.
+
+    Attributes:
+        name: label for reporting.
+        transform: word -> word mapping applied to the data (identity
+            for pure accumulators like a checksum).
+        accumulate: (state, word_in) -> state folded over the stream.
+    """
+
+    name: str
+    transform: Callable[[int], int] | None = None
+    accumulate: Callable[[int, int], int] | None = None
+
+
+def xor_decrypt_function(key: int = 0x5A5A5A5A) -> WordFunction:
+    """A stand-in stream decryption (word XOR with a keystream word)."""
+    return WordFunction("decrypt", transform=lambda w: w ^ key)
+
+
+def checksum_function() -> WordFunction:
+    """A WSC-2-flavoured running parity (Horner step per word)."""
+    return WordFunction("checksum", accumulate=lambda s, w: mul_alpha(s) ^ w)
+
+
+def byteswap_function() -> WordFunction:
+    """Host byte-order conversion, a classic presentation-layer pass."""
+    return WordFunction(
+        "byteswap",
+        transform=lambda w: (
+            ((w & 0xFF) << 24)
+            | ((w & 0xFF00) << 8)
+            | ((w >> 8) & 0xFF00)
+            | (w >> 24)
+        ),
+    )
+
+
+@dataclass
+class IlpResult:
+    """Outcome of one processing run."""
+
+    words: list[int]
+    accumulators: dict[str, int]
+    ledger: TouchLedger
+    wall_seconds: float
+
+    def touches_per_byte(self) -> float:
+        return self.ledger.touches_per_payload_byte(len(self.words) * 4)
+
+
+def run_layered(words: Sequence[int], functions: Sequence[WordFunction]) -> IlpResult:
+    """Apply each function as a separate pass (the conventional stack).
+
+    Every pass reads the whole buffer; transforming passes also write it
+    back.  This is what per-layer processing with intermediate buffers
+    costs in memory traffic.
+    """
+    ledger = TouchLedger()
+    nbytes = len(words) * 4
+    data = list(words)
+    accumulators: dict[str, int] = {}
+    started = time.perf_counter()
+    for function in functions:
+        if function.accumulate is not None:
+            state = 0
+            acc = function.accumulate
+            for word in data:
+                state = acc(state, word)
+            accumulators[function.name] = state
+            ledger.record(f"{function.name}-read", nbytes)
+        if function.transform is not None:
+            transform = function.transform
+            data = [transform(word) for word in data]
+            ledger.record(f"{function.name}-read", nbytes)
+            ledger.record(f"{function.name}-write", nbytes)
+    wall = time.perf_counter() - started
+    return IlpResult(data, accumulators, ledger, wall)
+
+
+def run_integrated(words: Sequence[int], functions: Sequence[WordFunction]) -> IlpResult:
+    """Apply the whole function stack in one fused loop (ILP).
+
+    Each word is read once, pushed through every layer in registers,
+    and written once — the memory-traffic floor.
+    """
+    ledger = TouchLedger()
+    nbytes = len(words) * 4
+    accumulators = {f.name: 0 for f in functions if f.accumulate is not None}
+    out: list[int] = []
+    started = time.perf_counter()
+    steps = [(f.name, f.transform, f.accumulate) for f in functions]
+    for word in words:
+        value = word
+        for name, transform, accumulate in steps:
+            if accumulate is not None:
+                accumulators[name] = accumulate(accumulators[name], value)
+            if transform is not None:
+                value = transform(value)
+        out.append(value)
+    wall = time.perf_counter() - started
+    ledger.record("integrated-read", nbytes)
+    ledger.record("integrated-write", nbytes)
+    return IlpResult(out, accumulators, ledger, wall)

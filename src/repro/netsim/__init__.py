@@ -1,0 +1,38 @@
+"""Discrete-event network substrate.
+
+Replaces the paper's AURORA testbed hardware: links with rate, delay,
+MTU and impairments; multipath striping with skew (the 8x155 Mbps
+scenario of Section 1); and chunk-aware fragmenting routers implementing
+the three Figure 4 re-enveloping strategies.
+"""
+
+from repro.netsim.events import EventLoop
+from repro.netsim.link import Link, LinkStats
+from repro.netsim.multipath import MultipathChannel, aurora_stripe
+from repro.netsim.router import ChunkRouter, RepackMode, RouterStats
+from repro.netsim.rng import corrupt_bytes, substream
+from repro.netsim.routechange import RouteSwitcher
+from repro.netsim.topology import ChunkPath, HopSpec, build_chunk_path
+from repro.netsim.trace import ArrivalRecord, ReceiverTrace
+from repro.netsim.turner import BottleneckQueue, QueueStats
+
+__all__ = [
+    "RouteSwitcher",
+    "BottleneckQueue",
+    "QueueStats",
+    "EventLoop",
+    "Link",
+    "LinkStats",
+    "MultipathChannel",
+    "aurora_stripe",
+    "ChunkRouter",
+    "RouterStats",
+    "RepackMode",
+    "substream",
+    "corrupt_bytes",
+    "HopSpec",
+    "ChunkPath",
+    "build_chunk_path",
+    "ArrivalRecord",
+    "ReceiverTrace",
+]

@@ -1,0 +1,59 @@
+"""A minimal discrete-event scheduler.
+
+Everything in :mod:`repro.netsim` — link serialization, propagation,
+router forwarding, multipath skew — is expressed as callbacks scheduled
+on one :class:`EventLoop`.  Simulated time is a float in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["EventLoop"]
+
+
+class EventLoop:
+    """Priority-queue event loop with stable FIFO ordering at equal times."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self.at(self.now + delay, callback)
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at absolute simulated *time*."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
+
+    def run(self, until: float | None = None) -> float:
+        """Process events (optionally only up to time *until*).
+
+        Returns the simulated time after the last processed event.
+        """
+        while self._queue:
+            time, _seq, callback = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            self._processed += 1
+            callback()
+        return self.now
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed

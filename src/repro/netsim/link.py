@@ -1,0 +1,99 @@
+"""Network links.
+
+A :class:`Link` moves opaque byte frames from its input to a delivery
+callback with serialization delay (frame length / rate), propagation
+delay, and optional impairments: loss, single-bit corruption, and
+duplication.  Frames never reorder *within* one link (it is FIFO);
+disorder in the simulator arises from loss/retransmission and from
+multipath striping (:mod:`repro.netsim.multipath`), which is exactly the
+paper's taxonomy of disordering causes (Section 1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.netsim.events import EventLoop
+from repro.netsim.rng import corrupt_bytes
+
+__all__ = ["Link", "LinkStats"]
+
+Deliver = Callable[[bytes], None]
+
+
+@dataclass
+class LinkStats:
+    """Per-link counters."""
+
+    frames_in: int = 0
+    frames_delivered: int = 0
+    frames_lost: int = 0
+    frames_corrupted: int = 0
+    frames_duplicated: int = 0
+    frames_dropped_oversize: int = 0
+    bytes_in: int = 0
+    bytes_delivered: int = 0
+
+
+@dataclass
+class Link:
+    """A point-to-point FIFO link.
+
+    Attributes:
+        loop: the event loop driving the simulation.
+        deliver: downstream callback receiving each frame's bytes.
+        rate_bps: transmission rate in bits/second.
+        delay: propagation delay in seconds.
+        mtu: maximum frame size in bytes; larger frames are dropped
+            (option 1 of the fragmentation taxonomy, Section 3 — routers
+            exist to avoid ever hitting this).
+        loss_rate / corrupt_rate / dup_rate: independent per-frame
+            impairment probabilities.
+        rng: the link's private random stream.
+    """
+
+    loop: EventLoop
+    deliver: Deliver
+    rate_bps: float = 155e6
+    delay: float = 0.001
+    mtu: int = 1500
+    loss_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    dup_rate: float = 0.0
+    rng: random.Random = field(default_factory=random.Random)
+    stats: LinkStats = field(default_factory=LinkStats)
+
+    _busy_until: float = field(default=0.0, init=False)
+
+    def send(self, frame: bytes) -> None:
+        """Queue one frame for transmission at the current sim time."""
+        self.stats.frames_in += 1
+        self.stats.bytes_in += len(frame)
+        if len(frame) > self.mtu:
+            self.stats.frames_dropped_oversize += 1
+            return
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            self.stats.frames_lost += 1
+            return
+        if self.corrupt_rate and self.rng.random() < self.corrupt_rate:
+            frame = corrupt_bytes(frame, self.rng)
+            self.stats.frames_corrupted += 1
+
+        start = max(self.loop.now, self._busy_until)
+        tx_time = len(frame) * 8 / self.rate_bps
+        self._busy_until = start + tx_time
+        arrival = self._busy_until + self.delay
+
+        copies = 1
+        if self.dup_rate and self.rng.random() < self.dup_rate:
+            copies = 2
+            self.stats.frames_duplicated += 1
+        for _ in range(copies):
+            self.loop.at(arrival, lambda f=frame: self._arrive(f))
+
+    def _arrive(self, frame: bytes) -> None:
+        self.stats.frames_delivered += 1
+        self.stats.bytes_delivered += len(frame)
+        self.deliver(frame)

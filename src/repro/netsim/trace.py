@@ -1,0 +1,63 @@
+"""Receiver-side measurement: arrival records and disorder metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ArrivalRecord", "ReceiverTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalRecord:
+    """One delivered frame with its arrival time and send index."""
+
+    time: float
+    index: int
+    size: int
+
+
+@dataclass
+class ReceiverTrace:
+    """Collects arrivals and summarizes disorder and latency.
+
+    The *index* is the sender-side emission order; disorder is measured
+    as the fraction of arrivals whose index is smaller than an index
+    already seen (late arrivals), plus the maximum displacement.
+    """
+
+    arrivals: list[ArrivalRecord] = field(default_factory=list)
+
+    def record(self, time: float, index: int, size: int) -> None:
+        self.arrivals.append(ArrivalRecord(time, index, size))
+
+    @property
+    def count(self) -> int:
+        return len(self.arrivals)
+
+    def late_arrivals(self) -> int:
+        """Frames that arrived after a higher-index frame (disordered)."""
+        high = -1
+        late = 0
+        for record in self.arrivals:
+            if record.index < high:
+                late += 1
+            high = max(high, record.index)
+        return late
+
+    def disorder_fraction(self) -> float:
+        return self.late_arrivals() / len(self.arrivals) if self.arrivals else 0.0
+
+    def max_displacement(self) -> int:
+        """Largest positional displacement between send and arrival order."""
+        worst = 0
+        for position, record in enumerate(self.arrivals):
+            worst = max(worst, abs(record.index - position))
+        return worst
+
+    def latency_of(self, send_times: dict[int, float]) -> list[float]:
+        """Per-frame latency given the sender's emission timestamps."""
+        return [
+            record.time - send_times[record.index]
+            for record in self.arrivals
+            if record.index in send_times
+        ]

@@ -1,0 +1,74 @@
+"""Acknowledgment chunks and piggybacking (Appendix A).
+
+"Packets are utilized more efficiently if multiple chunks can be
+carried in a packet...  Data, signaling information, and
+acknowledgments can be combined in any combination.  Notice that this
+allows an error detection system that utilizes chunks to achieve the
+efficiency associated with the piggybacking of acknowledgments without
+requiring the explicit design of piggybacking into the error control
+protocol."
+
+An ACK chunk is control information: ``TYPE = ACK``, payload a list of
+acknowledged TPDU ids (one 32-bit word each).  Because it is just a
+chunk, it rides in whatever packet has room — piggybacking falls out of
+the envelope model for free, which :func:`piggyback` demonstrates.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.chunk import Chunk
+from repro.core.errors import ChunkError
+from repro.core.packet import Packet, pack_chunks
+from repro.core.tuples import FramingTuple
+from repro.core.types import WORD_BYTES, ChunkType
+
+__all__ = ["MAX_ACKS_PER_CHUNK", "build_ack_chunk", "parse_ack_chunk", "piggyback"]
+
+#: Keep ACK chunks comfortably inside any sane MTU.
+MAX_ACKS_PER_CHUNK = 64
+
+
+def build_ack_chunk(connection_id: int, t_ids: list[int]) -> Chunk:
+    """An ACK control chunk acknowledging verified TPDUs."""
+    if not t_ids:
+        raise ChunkError("an ACK chunk must acknowledge at least one TPDU")
+    if len(t_ids) > MAX_ACKS_PER_CHUNK:
+        raise ChunkError(
+            f"{len(t_ids)} acks exceed the {MAX_ACKS_PER_CHUNK}-per-chunk limit"
+        )
+    payload = b"".join(struct.pack(">I", t_id & 0xFFFFFFFF) for t_id in t_ids)
+    return Chunk(
+        type=ChunkType.ACK,
+        size=1,
+        length=len(t_ids),
+        c=FramingTuple(connection_id, 0, False),
+        t=FramingTuple(0, 0, False),
+        x=FramingTuple(0, 0, False),
+        payload=payload,
+    )
+
+
+def parse_ack_chunk(chunk: Chunk) -> list[int]:
+    """The acknowledged TPDU ids carried by an ACK chunk."""
+    if chunk.type is not ChunkType.ACK:
+        raise ChunkError(f"not an ACK chunk: TYPE={chunk.type.name}")
+    return [
+        struct.unpack_from(">I", chunk.payload, offset)[0]
+        for offset in range(0, len(chunk.payload), WORD_BYTES)
+    ]
+
+
+def piggyback(
+    data_chunks: list[Chunk],
+    ack_chunks: list[Chunk],
+    mtu: int,
+) -> list[Packet]:
+    """Combine reverse-path data with acknowledgments in shared packets.
+
+    No protocol machinery is involved: ACK chunks are appended to the
+    chunk sequence and the ordinary envelope packing does the rest —
+    the Appendix A point that piggybacking needs no explicit design.
+    """
+    return pack_chunks(list(data_chunks) + list(ack_chunks), mtu)

@@ -1,0 +1,239 @@
+"""Reliable delivery: timers, ACK chunks, identifier-preserving repeat.
+
+Ties the transport's pieces into the loss-recovery loop Section 3.3
+sketches: "retransmitted data should use the same identifiers as the
+originally transmitted data", acknowledgments ride as chunks (Appendix
+A), and — per the Kent-and-Mogul rebuttal in Section 3 — "a good
+transport protocol implementation should reduce its TPDU size to match
+the observed network error rate without any direct knowledge of whether
+fragmentation is occurring" (:class:`AdaptiveTpduPolicy`).
+
+:class:`ReliableSender` drives a :class:`~repro.transport.sender.
+ChunkTransportSender` with per-TPDU retransmission timers on a
+:class:`~repro.netsim.events.EventLoop`; :class:`ReliableReceiver`
+wraps the transport receiver and emits ACK chunks for verified TPDUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.chunk import Chunk
+from repro.core.packet import pack_chunks
+from repro.core.types import ChunkType
+from repro.netsim.events import EventLoop
+from repro.transport.acks import build_ack_chunk, parse_ack_chunk
+from repro.transport.connection import ConnectionConfig
+from repro.transport.receiver import ChunkTransportReceiver, ReceiverEvents
+from repro.transport.sender import ChunkTransportSender
+
+__all__ = ["AdaptiveTpduPolicy", "ReliableSender", "ReliableReceiver"]
+
+
+@dataclass
+class AdaptiveTpduPolicy:
+    """Multiplicative-decrease / additive-increase TPDU sizing.
+
+    A TPDU that needs retransmission signals loss: the policy halves the
+    TPDU size (down to *min_units*).  A run of *grow_after* first-try
+    successes grows it back by *grow_step* (up to *max_units*).  The
+    transport never learns whether the network fragmented anything —
+    only its own loss observations matter, exactly as Section 3 argues.
+    """
+
+    min_units: int = 16
+    max_units: int = 4096
+    grow_after: int = 8
+    grow_step: int = 64
+    current_units: int = 1024
+    _success_streak: int = field(default=0, init=False)
+
+    def on_first_try_success(self) -> int:
+        self._success_streak += 1
+        if self._success_streak >= self.grow_after:
+            self._success_streak = 0
+            self.current_units = min(self.max_units, self.current_units + self.grow_step)
+        return self.current_units
+
+    def on_loss(self) -> int:
+        self._success_streak = 0
+        self.current_units = max(self.min_units, self.current_units // 2)
+        return self.current_units
+
+
+@dataclass
+class _Outstanding:
+    """Sender-side per-TPDU retransmission state."""
+
+    retries: int = 0
+    timer_generation: int = 0
+
+
+@dataclass
+class ReliableSender:
+    """Sender half of a reliable chunk connection.
+
+    Attributes:
+        loop: the simulation event loop used for retransmission timers.
+        transmit: callable taking wire bytes (the network's ingress).
+        config: connection parameters (also produces the establishment
+            signaling chunk, sent with the first frame).
+        mtu: first-hop MTU for packing.
+        rto: retransmission timeout in seconds (doubles per retry).
+        max_retries: give-up threshold per TPDU.
+        policy: optional adaptive TPDU sizing.
+
+    Retransmission timers cover *completed* TPDUs (those whose ED chunk
+    exists); data in a not-yet-complete trailing TPDU is unprotected
+    until the TPDU fills.  Finish a transfer with
+    ``send_frame(..., end_of_connection=True)``, which closes the final
+    TPDU and emits its ED chunk.
+    """
+
+    loop: EventLoop
+    transmit: Callable[[bytes], None]
+    config: ConnectionConfig
+    mtu: int = 1500
+    rto: float = 0.05
+    max_retries: int = 12
+    policy: AdaptiveTpduPolicy | None = None
+
+    sender: ChunkTransportSender = field(init=False)
+    _outstanding: dict[int, _Outstanding] = field(init=False, default_factory=dict)
+    _established: bool = field(init=False, default=False)
+    retransmissions: int = field(init=False, default=0)
+    bytes_sent: int = field(init=False, default=0)
+    gave_up: list[int] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.sender = ChunkTransportSender(self.config)
+        if self.policy is not None:
+            self.policy.current_units = self.config.tpdu_units
+
+    # ------------------------------------------------------------------
+
+    def send_frame(
+        self,
+        payload: bytes,
+        frame_id: int | None = None,
+        end_of_connection: bool = False,
+    ) -> None:
+        """Frame, transmit, and arm timers for any completed TPDUs."""
+        chunks: list[Chunk] = []
+        if not self._established:
+            chunks.append(self.sender.establishment_chunk())
+            self._established = True
+        new_chunks = self.sender.send_frame(
+            payload, frame_id=frame_id, end_of_connection=end_of_connection
+        )
+        chunks += new_chunks
+        self._ship(chunks)
+        for chunk in new_chunks:
+            if chunk.type is ChunkType.ERROR_DETECTION:
+                self._arm(chunk.t.ident)
+
+    def handle_ack_chunk(self, chunk: Chunk) -> None:
+        """Process an arriving ACK chunk (possibly piggybacked)."""
+        for t_id in parse_ack_chunk(chunk):
+            if t_id in self._outstanding:
+                state = self._outstanding.pop(t_id)
+                self.sender.acknowledge(t_id)
+                if self.policy is not None and state.retries == 0:
+                    self._resize(self.policy.on_first_try_success())
+
+    @property
+    def outstanding(self) -> list[int]:
+        return list(self._outstanding)
+
+    @property
+    def finished(self) -> bool:
+        return not self._outstanding
+
+    # ------------------------------------------------------------------
+
+    def _ship(self, chunks: list[Chunk]) -> None:
+        for packet in pack_chunks(chunks, self.mtu):
+            frame = packet.encode()
+            self.bytes_sent += len(frame)
+            self.transmit(frame)
+
+    def _arm(self, t_id: int) -> None:
+        state = self._outstanding.setdefault(t_id, _Outstanding())
+        generation = state.timer_generation
+        delay = self.rto * (2 ** state.retries)
+        self.loop.schedule(delay, lambda: self._timeout(t_id, generation))
+
+    def _timeout(self, t_id: int, generation: int) -> None:
+        state = self._outstanding.get(t_id)
+        if state is None or state.timer_generation != generation:
+            return  # acked, or superseded by a newer timer
+        state.retries += 1
+        state.timer_generation += 1
+        if state.retries > self.max_retries:
+            del self._outstanding[t_id]
+            self.gave_up.append(t_id)
+            return
+        self.retransmissions += 1
+        if self.policy is not None:
+            self._resize(self.policy.on_loss())
+        # Same identifiers as the original transmission (Section 3.3).
+        self._ship(self.sender.retransmit(t_id))
+        self._arm(t_id)
+
+    def _resize(self, units: int) -> None:
+        if units != self.sender.tpdu_units:
+            self.sender.set_tpdu_units(units)
+
+
+@dataclass
+class ReliableReceiver:
+    """Receiver half: verify TPDUs, acknowledge them as ACK chunks.
+
+    ACKs for freshly verified TPDUs are handed to *send_ack* as wire
+    packets; duplicate TPDU arrivals re-ACK (the original ACK may have
+    been lost).  Reverse-path data can be piggybacked by supplying
+    *reverse_chunks* at ack time via :meth:`flush_acks`.
+    """
+
+    transmit: Callable[[bytes], None]
+    mtu: int = 1500
+    receiver: ChunkTransportReceiver = field(default_factory=ChunkTransportReceiver)
+    acks_sent: int = field(init=False, default=0)
+    _verified: set[int] = field(init=False, default_factory=set)
+
+    def receive_packet(self, frame: bytes) -> ReceiverEvents:
+        events = self.receiver.receive_packet(frame)
+        to_ack = [v.t_id for v in events.verdicts if v.ok]
+        # Re-acknowledge retransmissions of already verified TPDUs,
+        # whose verdicts fired earlier.
+        for chunk in self._tpdus_seen_again(frame):
+            if chunk in self._verified and chunk not in to_ack:
+                to_ack.append(chunk)
+        if to_ack:
+            self._verified.update(to_ack)
+            self.flush_acks(to_ack)
+        return events
+
+    def flush_acks(self, t_ids: list[int], reverse_chunks: list[Chunk] | None = None) -> None:
+        connection = self.receiver.config.connection_id if self.receiver.config else 0
+        chunks = list(reverse_chunks or [])
+        for start in range(0, len(t_ids), 64):
+            chunks.append(build_ack_chunk(connection, t_ids[start : start + 64]))
+        for packet in pack_chunks(chunks, self.mtu):
+            self.acks_sent += 1
+            self.transmit(packet.encode())
+
+    def _tpdus_seen_again(self, frame: bytes) -> list[int]:
+        from repro.core.errors import CodecError
+        from repro.core.packet import Packet
+
+        try:
+            packet = Packet.decode(frame)
+        except CodecError:
+            return []
+        return [
+            c.t.ident
+            for c in packet.chunks
+            if c.type is ChunkType.ERROR_DETECTION and c.t.ident in self._verified
+        ]

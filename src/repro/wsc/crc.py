@@ -1,0 +1,54 @@
+"""CRC-32 baseline.
+
+Included because the paper contrasts WSC-2 with CRC: "A CRC cannot be
+computed on disordered data [FELD 92]" — equal detection power, but the
+CRC's value depends on byte order, so a receiver must buffer/reorder
+before it can verify.  The CLAIM-WSC bench demonstrates both halves of
+that statement with this implementation.
+
+Implemented from scratch (table-driven, reflected, IEEE 802.3
+parameters) so the library has no dependency beyond the standard
+library; verified against known test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+__all__ = ["crc32", "Crc32"]
+
+_POLY_REFLECTED = 0xEDB88320
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY_REFLECTED if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+class Crc32:
+    """Incremental (but order-*dependent*) CRC-32."""
+
+    def __init__(self) -> None:
+        self._crc = 0xFFFFFFFF
+
+    def update(self, data: bytes) -> "Crc32":
+        crc = self._crc
+        table = _TABLE
+        for byte in data:
+            crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+        self._crc = crc
+        return self
+
+    def digest(self) -> int:
+        return self._crc ^ 0xFFFFFFFF
+
+
+def crc32(data: bytes) -> int:
+    """One-shot CRC-32 of *data*."""
+    return Crc32().update(data).digest()

@@ -1,0 +1,264 @@
+"""End-to-end error detection for chunks (Section 4, Table 1).
+
+The receiver detects TPDU corruption three ways:
+
+1. **error detection code mismatch** — the incrementally accumulated
+   WSC-2 invariant (:mod:`repro.wsc.invariant`) differs from the parity
+   carried in the TPDU's ED chunk;
+2. **reassembly error** — virtual reassembly fails (units beyond a seen
+   ST, conflicting STs, payload misframing) or never completes;
+3. **consistency check** — (C.SN − T.SN) is not constant across the
+   TPDU's chunks, or (C.SN − X.SN) is not constant across the chunks of
+   one external PDU within the TPDU.
+
+:class:`EndToEndReceiver` demultiplexes chunks by C.ID (connections),
+tracks every in-flight TPDU by T.ID, feeds fresh data into the
+invariant as it arrives — in any order, with no payload buffering — and
+emits a :class:`TpduVerdict` the moment a TPDU completes (or fails).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chunk import Chunk
+from repro.core.errors import ChunkError, VirtualReassemblyError
+from repro.core.types import ChunkType
+from repro.core.virtual import PduState
+from repro.wsc.invariant import EdPayload, TpduInvariant, parse_ed_chunk
+
+__all__ = [
+    "REASON_CODE_MISMATCH",
+    "REASON_REASSEMBLY",
+    "REASON_CONSISTENCY",
+    "TpduVerdict",
+    "EndToEndReceiver",
+]
+
+REASON_CODE_MISMATCH = "code-mismatch"
+REASON_REASSEMBLY = "reassembly-error"
+REASON_CONSISTENCY = "consistency-check"
+
+
+@dataclass(frozen=True, slots=True)
+class TpduVerdict:
+    """Outcome of end-to-end verification for one TPDU."""
+
+    c_id: int
+    t_id: int
+    ok: bool
+    reason: str | None = None
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        status = "OK" if self.ok else f"CORRUPT({self.reason}: {self.detail})"
+        return f"TPDU c={self.c_id} t={self.t_id}: {status}"
+
+
+@dataclass
+class _TpduChecker:
+    """Receiver-side state for one (connection, TPDU) pair."""
+
+    c_id: int
+    t_id: int
+    invariant: TpduInvariant = field(init=False)
+    reassembly: PduState = field(default_factory=PduState)
+    expected: EdPayload | None = None
+    c_minus_t: int | None = None
+    x_deltas: dict[int, int] = field(default_factory=dict)
+    failure: tuple[str, str] | None = None
+    finished: bool = False
+
+    def __post_init__(self) -> None:
+        self.invariant = TpduInvariant(self.c_id, self.t_id)
+
+    def fail(self, reason: str, detail: str) -> None:
+        if self.failure is None:
+            self.failure = (reason, detail)
+
+    # ------------------------------------------------------------------
+
+    def add_data(self, chunk: Chunk) -> bool:
+        """Record a data chunk; returns True if the TPDU just completed.
+
+        Virtual reassembly runs first: a corrupted T.SN/T.ST/LEN/SIZE
+        manifests there (the "Reassembly Error" rows of Table 1); the
+        (C.SN - T.SN) and (C.SN - X.SN) consistency checks follow (the
+        "Consistency Check" rows), and everything else is left to the
+        WSC-2 code at completion time.
+        """
+        # Virtual reassembly + incremental invariant over fresh units.
+        try:
+            arrival = self.reassembly.record(chunk.t.sn, chunk.length, chunk.t.st)
+        except VirtualReassemblyError as exc:
+            self.fail(REASON_REASSEMBLY, str(exc))
+            return False
+        for start, end in arrival.fresh_ranges:
+            try:
+                self.invariant.add_units(chunk, start - chunk.t.sn, end - chunk.t.sn)
+            except ChunkError as exc:
+                self.fail(REASON_REASSEMBLY, str(exc))
+                return False
+
+        # Consistency checks (Section 4, last paragraph).
+        delta_t = chunk.c.sn - chunk.t.sn
+        if self.c_minus_t is None:
+            self.c_minus_t = delta_t
+        elif delta_t != self.c_minus_t:
+            self.fail(
+                REASON_CONSISTENCY,
+                f"(C.SN - T.SN) changed from {self.c_minus_t} to {delta_t}",
+            )
+        delta_x = chunk.c.sn - chunk.x.sn
+        known = self.x_deltas.get(chunk.x.ident)
+        if known is None:
+            self.x_deltas[chunk.x.ident] = delta_x
+        elif delta_x != known:
+            self.fail(
+                REASON_CONSISTENCY,
+                f"(C.SN - X.SN) for X.ID {chunk.x.ident} changed "
+                f"from {known} to {delta_x}",
+            )
+        return arrival.completed or self._complete_by_count()
+
+    def add_ed(self, chunk: Chunk) -> bool:
+        """Record the ED chunk; returns True if the TPDU just completed."""
+        try:
+            payload = parse_ed_chunk(chunk)
+        except ChunkError as exc:
+            self.fail(REASON_REASSEMBLY, str(exc))
+            return False
+        if self.expected is not None and self.expected != payload:
+            self.fail(REASON_CODE_MISMATCH, "conflicting duplicate ED chunks")
+            return False
+        self.expected = payload
+        return self.reassembly.complete or self._complete_by_count()
+
+    def _complete_by_count(self) -> bool:
+        """Completion via the ED chunk's unit count when T.ST never arrived.
+
+        If every unit [0, total) is present but the ST bit was corrupted
+        away, virtual reassembly alone would wait forever; the auxiliary
+        count in the ED payload converts that into an immediate
+        reassembly-error verdict.
+        """
+        if self.expected is None:
+            return False
+        return self.reassembly.received.is_complete(self.expected.total_units)
+
+    # ------------------------------------------------------------------
+
+    def verdict(self) -> TpduVerdict:
+        """Final verdict; call once data + ED indicate completion."""
+        self.finished = True
+        if self.failure is not None:
+            reason, detail = self.failure
+            return TpduVerdict(self.c_id, self.t_id, False, reason, detail)
+        assert self.expected is not None
+        if self.reassembly.total_units is None:
+            return TpduVerdict(
+                self.c_id,
+                self.t_id,
+                False,
+                REASON_REASSEMBLY,
+                "all units present but no T.ST seen (ST bit corrupted?)",
+            )
+        if self.reassembly.total_units != self.expected.total_units:
+            return TpduVerdict(
+                self.c_id,
+                self.t_id,
+                False,
+                REASON_REASSEMBLY,
+                f"reassembled {self.reassembly.total_units} units but ED "
+                f"chunk declares {self.expected.total_units}",
+            )
+        if self.invariant.matches(self.expected.p0, self.expected.p1):
+            return TpduVerdict(self.c_id, self.t_id, True)
+        return TpduVerdict(
+            self.c_id,
+            self.t_id,
+            False,
+            REASON_CODE_MISMATCH,
+            "WSC-2 invariant differs from received parity",
+        )
+
+    def abort_verdict(self) -> TpduVerdict:
+        """Verdict for a TPDU abandoned incomplete (timeout path)."""
+        self.finished = True
+        if self.failure is not None:
+            reason, detail = self.failure
+            return TpduVerdict(self.c_id, self.t_id, False, reason, detail)
+        missing = self.reassembly.missing()
+        return TpduVerdict(
+            self.c_id,
+            self.t_id,
+            False,
+            REASON_REASSEMBLY,
+            f"virtual reassembly never completed (missing unit ranges {missing}, "
+            f"ED {'present' if self.expected else 'absent'})",
+        )
+
+
+@dataclass
+class EndToEndReceiver:
+    """Connection-demultiplexing end-to-end verifier.
+
+    Feed every arriving chunk to :meth:`receive`; completed TPDUs come
+    back as verdicts immediately (possibly more than one per call when
+    an ED chunk unblocks a finished TPDU).  Call :meth:`abort_pending`
+    at teardown to classify TPDUs that never completed.
+    """
+
+    _checkers: dict[tuple[int, int], _TpduChecker] = field(default_factory=dict)
+    verified: int = 0
+    corrupted: int = 0
+
+    def receive(self, chunk: Chunk) -> list[TpduVerdict]:
+        if chunk.type is ChunkType.DATA or chunk.type is ChunkType.ERROR_DETECTION:
+            key = (chunk.c.ident, chunk.t.ident)
+            checker = self._checkers.get(key)
+            if checker is None:
+                checker = _TpduChecker(chunk.c.ident, chunk.t.ident)
+                self._checkers[key] = checker
+            if checker.finished:
+                return []  # late duplicate of an already-verdicted TPDU
+            done = (
+                checker.add_data(chunk)
+                if chunk.type is ChunkType.DATA
+                else checker.add_ed(chunk)
+            )
+            if done and checker.expected is not None:
+                verdict = checker.verdict()
+                self._count(verdict)
+                return [verdict]
+            if checker.failure is not None and checker.failure[0] != REASON_CODE_MISMATCH:
+                # Hard structural failures need not wait for completion.
+                verdict = checker.verdict()
+                self._count(verdict)
+                return [verdict]
+            return []
+        return []  # signaling/ACK chunks are not TPDU-framed data
+
+    def abort_pending(self) -> list[TpduVerdict]:
+        """Classify every unfinished TPDU as a reassembly failure."""
+        verdicts = []
+        for checker in self._checkers.values():
+            if not checker.finished:
+                verdict = checker.abort_verdict()
+                self._count(verdict)
+                verdicts.append(verdict)
+        return verdicts
+
+    def pending(self) -> list[tuple[int, int]]:
+        """(C.ID, T.ID) keys of TPDUs still awaiting data or ED."""
+        return [k for k, c in self._checkers.items() if not c.finished]
+
+    def evict(self, c_id: int, t_id: int) -> None:
+        """Drop state for a verdicted TPDU."""
+        self._checkers.pop((c_id, t_id), None)
+
+    def _count(self, verdict: TpduVerdict) -> None:
+        if verdict.ok:
+            self.verified += 1
+        else:
+            self.corrupted += 1

@@ -1,0 +1,56 @@
+"""Internet (TCP/IP) ones-complement checksum baseline.
+
+Footnote 11 of the paper: "The TCP checksum can be computed on
+disordered data, but has less powerful error detection properties than
+both CRC and WSC-2."  This module implements the RFC 1071 checksum so
+the CLAIM-WSC bench can measure both properties:
+
+- order-independence: ones-complement addition commutes (for aligned,
+  even-offset placement), so fragments may be summed in any order;
+- weakness: it cannot see value-preserving word *transpositions* and
+  misses far more random multi-bit patterns than a 64-bit WSC-2 pair.
+"""
+
+from __future__ import annotations
+
+__all__ = ["inet_checksum", "InetChecksum", "ones_complement_add"]
+
+
+def ones_complement_add(a: int, b: int) -> int:
+    """16-bit ones-complement addition with end-around carry."""
+    total = a + b
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+class InetChecksum:
+    """Incremental, order-independent ones-complement sum.
+
+    ``add_at`` takes the byte offset so odd-offset fragments are folded
+    with the correct byte swap (RFC 1071 section 2(B)).
+    """
+
+    def __init__(self) -> None:
+        self._sum = 0
+
+    def add_at(self, offset: int, data: bytes) -> "InetChecksum":
+        if len(data) % 2:
+            data = data + b"\x00"
+        partial = 0
+        for i in range(0, len(data), 2):
+            partial = ones_complement_add(partial, (data[i] << 8) | data[i + 1])
+        if offset % 2:
+            # Odd placement swaps byte lanes; swap the partial sum back.
+            partial = ((partial & 0xFF) << 8) | (partial >> 8)
+        self._sum = ones_complement_add(self._sum, partial)
+        return self
+
+    def digest(self) -> int:
+        """The checksum field value (complement of the sum)."""
+        return (~self._sum) & 0xFFFF
+
+
+def inet_checksum(data: bytes) -> int:
+    """One-shot RFC 1071 checksum of *data*."""
+    return InetChecksum().add_at(0, data).digest()

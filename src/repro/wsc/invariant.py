@@ -1,0 +1,198 @@
+"""The TPDU invariant under chunk fragmentation (Figures 5 and 6).
+
+"For the fields that are covered by the error detection code, we perform
+error detection on an invariant of the TPDU under chunk fragmentation.
+The invariant is simply a way of assuring that the transmitter and
+receiver perform error detection on the same chunk fields in the same
+way regardless of network fragmentation."
+
+Position map in the WSC-2 code space (32-bit symbols):
+
+    0 .. 16383            TPDU data symbols (data unit t_sn occupies
+                          positions t_sn*SIZE .. t_sn*SIZE+SIZE-1)
+    16384                 T.ID
+    16385                 C.ID
+    16386                 C.ST value (1 if set within this TPDU)
+    16387 + 2*t_sn        X.ID     } encoded for the data element whose
+    16388 + 2*t_sn        X.ST val } X.ST or T.ST bit is set (Figure 6)
+
+Every input that decides a position or a trigger — T.SN, SIZE, the ST
+bits — is itself checked by virtual reassembly or by the code mismatch
+that a wrong position causes, which is exactly the Table 1 story.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.chunk import Chunk
+from repro.core.errors import ChunkError
+from repro.core.tuples import FramingTuple
+from repro.core.types import MAX_TPDU_SYMBOLS, ChunkType
+from repro.wsc.wsc2 import Wsc2Accumulator, symbols_from_bytes
+
+__all__ = [
+    "T_ID_POS",
+    "C_ID_POS",
+    "C_ST_POS",
+    "X_PAIR_BASE",
+    "TpduInvariant",
+    "EdPayload",
+    "build_ed_chunk",
+    "parse_ed_chunk",
+    "encode_tpdu",
+]
+
+T_ID_POS = MAX_TPDU_SYMBOLS          # 16384
+C_ID_POS = MAX_TPDU_SYMBOLS + 1      # 16385
+C_ST_POS = MAX_TPDU_SYMBOLS + 2      # 16386
+X_PAIR_BASE = MAX_TPDU_SYMBOLS + 3   # 16387
+
+_ED_PAYLOAD = struct.Struct(">III")
+
+
+@dataclass
+class TpduInvariant:
+    """Incremental WSC-2 accumulator over one TPDU's invariant.
+
+    Both sender and receiver run the identical object.  The sender feeds
+    it the TPDU's chunks before transmission; the receiver feeds it
+    chunks (or the fresh sub-ranges of partially duplicate chunks) in
+    whatever order the network delivers them.  Equality of the final
+    (P0, P1) pair is the fragmentation-invariant end-to-end check.
+    """
+
+    c_id: int
+    t_id: int
+    _acc: Wsc2Accumulator = field(default_factory=Wsc2Accumulator)
+
+    def __post_init__(self) -> None:
+        # T.ID and C.ID are constant for all chunks of a TPDU and are
+        # encoded exactly once, at fixed positions (Figure 5).
+        self._acc.add_symbol(T_ID_POS, self.t_id & 0xFFFFFFFF)
+        self._acc.add_symbol(C_ID_POS, self.c_id & 0xFFFFFFFF)
+
+    # ------------------------------------------------------------------
+
+    def add_chunk(self, chunk: Chunk) -> None:
+        """Add a whole DATA chunk's contribution."""
+        self.add_units(chunk, 0, chunk.length)
+
+    def add_units(self, chunk: Chunk, first: int, last: int) -> None:
+        """Add units ``[first, last)`` of *chunk* (chunk-relative).
+
+        Receivers with duplicate partial overlap call this per fresh
+        range so no symbol is ever accumulated twice.  Trigger encodings
+        (C.ST and the X pair) belong to the chunk's final unit and are
+        applied only when that unit is inside the range.
+        """
+        if chunk.type is not ChunkType.DATA:
+            raise ChunkError("only DATA chunks contribute to the TPDU invariant")
+        if not 0 <= first < last <= chunk.length:
+            raise ChunkError(f"unit range [{first}, {last}) out of chunk bounds")
+        start_unit = chunk.t.sn + first
+        end_symbol = (chunk.t.sn + last) * chunk.size
+        if end_symbol > MAX_TPDU_SYMBOLS:
+            raise ChunkError(
+                f"TPDU data would occupy symbol {end_symbol - 1} "
+                f">= limit {MAX_TPDU_SYMBOLS}"
+            )
+        payload = chunk.payload[first * chunk.unit_bytes : last * chunk.unit_bytes]
+        self._acc.add_run(start_unit * chunk.size, symbols_from_bytes(payload))
+
+        final_unit_included = last == chunk.length
+        if not final_unit_included:
+            return
+        final_t_sn = chunk.t.sn + chunk.length - 1
+        if chunk.c.st:
+            # C.ST can be set at most once per TPDU; encode value 1.
+            self._acc.add_symbol(C_ST_POS, 1)
+        if chunk.x.st or chunk.t.st:
+            # Figure 6: each X.ID encoded exactly once, keyed to the
+            # boundary element's T.SN so no two pairs collide.
+            base = X_PAIR_BASE + 2 * final_t_sn
+            self._acc.add_symbol(base, chunk.x.ident & 0xFFFFFFFF)
+            self._acc.add_symbol(base + 1, 1 if chunk.x.st else 0)
+
+    # ------------------------------------------------------------------
+
+    def value(self) -> tuple[int, int]:
+        return self._acc.value()
+
+    def matches(self, p0: int, p1: int) -> bool:
+        return self._acc.matches(p0, p1)
+
+    @property
+    def accumulator(self) -> Wsc2Accumulator:
+        """The underlying parity accumulator (erasure repair reads it)."""
+        return self._acc
+
+
+@dataclass(frozen=True, slots=True)
+class EdPayload:
+    """Contents of a TPDU's ERROR_DETECTION chunk: parities + unit count."""
+
+    p0: int
+    p1: int
+    total_units: int
+
+    def encode(self) -> bytes:
+        return _ED_PAYLOAD.pack(self.p0, self.p1, self.total_units)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "EdPayload":
+        if len(payload) != _ED_PAYLOAD.size:
+            raise ChunkError(
+                f"ED payload must be {_ED_PAYLOAD.size} bytes, got {len(payload)}"
+            )
+        p0, p1, total = _ED_PAYLOAD.unpack(payload)
+        return cls(p0, p1, total)
+
+
+def build_ed_chunk(c_id: int, t_id: int, payload: EdPayload) -> Chunk:
+    """The TPDU's ERROR_DETECTION control chunk (library convention).
+
+    Control chunks carry the IDs of the PDU they protect; SNs and the X
+    tuple are zero, which is what makes the Appendix A ED-header elision
+    transform exactly invertible.
+    """
+    return Chunk(
+        type=ChunkType.ERROR_DETECTION,
+        size=1,
+        length=3,
+        c=FramingTuple(c_id, 0, False),
+        t=FramingTuple(t_id, 0, False),
+        x=FramingTuple(0, 0, False),
+        payload=payload.encode(),
+    )
+
+
+def parse_ed_chunk(chunk: Chunk) -> EdPayload:
+    """Extract the parity payload from an ERROR_DETECTION chunk."""
+    if chunk.type is not ChunkType.ERROR_DETECTION:
+        raise ChunkError(f"not an ED chunk: TYPE={chunk.type.name}")
+    return EdPayload.decode(chunk.payload)
+
+
+def encode_tpdu(chunks: list[Chunk]) -> tuple[EdPayload, Chunk]:
+    """Sender-side encoding of one complete TPDU.
+
+    *chunks* are the TPDU's DATA chunks (any order, any fragmentation —
+    the result is invariant).  Returns the parity payload and the ready
+    ERROR_DETECTION chunk to transmit alongside the data.
+    """
+    if not chunks:
+        raise ChunkError("a TPDU needs at least one DATA chunk")
+    c_id = chunks[0].c.ident
+    t_id = chunks[0].t.ident
+    invariant = TpduInvariant(c_id, t_id)
+    total_units = 0
+    for chunk in chunks:
+        if chunk.c.ident != c_id or chunk.t.ident != t_id:
+            raise ChunkError("chunks span more than one (connection, TPDU)")
+        invariant.add_chunk(chunk)
+        total_units = max(total_units, chunk.t.sn + chunk.length)
+    p0, p1 = invariant.value()
+    payload = EdPayload(p0, p1, total_units)
+    return payload, build_ed_chunk(c_id, t_id, payload)

@@ -1,0 +1,82 @@
+"""Unit tests: Axon's nesting requirement vs chunks' independent frames."""
+
+import pytest
+
+from repro.baselines.axon import (
+    AxonFraming,
+    NotNestedError,
+    boundaries_from_chunks,
+    is_nested,
+)
+from repro.core.builder import ChunkStreamBuilder
+from repro.core.errors import ReproError
+
+from tests.conftest import make_payload
+
+
+class TestNesting:
+    def test_nested_ok(self):
+        assert is_nested([6, 12], [3, 6, 9, 12])
+
+    def test_crossing_fails(self):
+        # Inner frame [4, 8) crosses the outer boundary at 6.
+        assert not is_nested([6, 12], [4, 8, 12])
+
+    def test_identical_levels_nest(self):
+        assert is_nested([5, 10], [5, 10])
+
+
+class TestAxonFraming:
+    def test_nested_framing_constructs(self):
+        framing = AxonFraming(total=12, levels=((6, 12), (3, 6, 9, 12)))
+        assert framing.frame_of(0, 5) == 0
+        assert framing.frame_of(0, 6) == 1
+        assert framing.frame_of(1, 7) == 2
+
+    def test_non_nested_framing_rejected(self):
+        with pytest.raises(NotNestedError):
+            AxonFraming(total=12, levels=((6, 12), (4, 8, 12)))
+
+    def test_must_cover_stream(self):
+        with pytest.raises(ReproError):
+            AxonFraming(total=12, levels=((6,),))
+
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ReproError):
+            AxonFraming(total=12, levels=((12, 6),))
+
+
+class TestFigure1IsNotAxonRepresentable:
+    """The paper's own Figure 1 stream: external PDUs of 4 units against
+    TPDUs of 6 units — boundaries interleave, so ID-less hierarchical
+    framing cannot carry it, while chunks do so natively."""
+
+    def _figure1_chunks(self):
+        builder = ChunkStreamBuilder(connection_id=1, tpdu_units=6)
+        chunks = []
+        for frame_id in range(6):
+            chunks += builder.add_frame(make_payload(4, seed=frame_id), frame_id=frame_id)
+        return chunks
+
+    def test_chunks_carry_the_stream(self):
+        chunks = self._figure1_chunks()
+        assert sum(c.length for c in chunks) == 24
+        # Both framings are fully labelled on every chunk.
+        assert all(c.t.ident is not None and c.x.ident is not None for c in chunks)
+
+    def test_axon_framing_rejects_it(self):
+        chunks = self._figure1_chunks()
+        t_bounds, x_bounds = boundaries_from_chunks(chunks)
+        assert t_bounds == [6, 12, 18, 24]
+        assert x_bounds == [4, 8, 12, 16, 20, 24]
+        with pytest.raises(NotNestedError):
+            AxonFraming(total=24, levels=(tuple(t_bounds), tuple(x_bounds)))
+
+    def test_aligned_framing_is_fine_for_both(self):
+        builder = ChunkStreamBuilder(connection_id=1, tpdu_units=8)
+        chunks = []
+        for frame_id in range(3):
+            chunks += builder.add_frame(make_payload(8, seed=frame_id), frame_id=frame_id)
+        t_bounds, x_bounds = boundaries_from_chunks(chunks)
+        framing = AxonFraming(total=24, levels=(tuple(t_bounds), tuple(x_bounds)))
+        assert framing.frame_of(1, 9) == 1

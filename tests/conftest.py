@@ -1,0 +1,49 @@
+"""Shared test helpers and fixtures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.chunk import Chunk
+from repro.core.tuples import FramingTuple
+from repro.core.types import WORD_BYTES, ChunkType
+
+
+def make_payload(units: int, size: int = 1, seed: int = 1) -> bytes:
+    """Deterministic payload of *units* atomic units of *size* words."""
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(units * size * WORD_BYTES))
+
+
+def make_chunk(
+    units: int = 8,
+    size: int = 1,
+    c_id: int = 1,
+    c_sn: int = 0,
+    c_st: bool = False,
+    t_id: int = 10,
+    t_sn: int = 0,
+    t_st: bool = False,
+    x_id: int = 100,
+    x_sn: int = 0,
+    x_st: bool = False,
+    seed: int = 1,
+    payload: bytes | None = None,
+) -> Chunk:
+    """A DATA chunk with sensible defaults for tests."""
+    return Chunk(
+        type=ChunkType.DATA,
+        size=size,
+        length=units,
+        c=FramingTuple(c_id, c_sn, c_st),
+        t=FramingTuple(t_id, t_sn, t_st),
+        x=FramingTuple(x_id, x_sn, x_st),
+        payload=payload if payload is not None else make_payload(units, size, seed),
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

@@ -1,0 +1,175 @@
+"""Unit and property tests for the interval set."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import IntervalSet
+
+
+class TestAdd:
+    def test_single_interval(self):
+        s = IntervalSet()
+        assert s.add(0, 5) == 5
+        assert s.intervals() == [(0, 5)]
+
+    def test_disjoint_intervals(self):
+        s = IntervalSet()
+        s.add(0, 3)
+        s.add(10, 12)
+        assert s.intervals() == [(0, 3), (10, 12)]
+        assert s.covered() == 5
+
+    def test_adjacent_intervals_merge(self):
+        s = IntervalSet()
+        s.add(0, 3)
+        s.add(3, 6)
+        assert s.intervals() == [(0, 6)]
+
+    def test_overlap_counts_new_units_only(self):
+        s = IntervalSet()
+        s.add(0, 5)
+        assert s.add(3, 8) == 3
+
+    def test_exact_duplicate_adds_zero(self):
+        s = IntervalSet()
+        s.add(2, 7)
+        assert s.add(2, 7) == 0
+
+    def test_bridging_gap_merges_three(self):
+        s = IntervalSet()
+        s.add(0, 2)
+        s.add(4, 6)
+        assert s.add(2, 4) == 2
+        assert s.intervals() == [(0, 6)]
+
+    def test_superset_swallows(self):
+        s = IntervalSet()
+        s.add(2, 4)
+        s.add(6, 8)
+        assert s.add(0, 10) == 6
+        assert s.intervals() == [(0, 10)]
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSet().add(5, 5)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSet().add(-1, 3)
+
+
+class TestQueries:
+    def test_contains(self):
+        s = IntervalSet()
+        s.add(5, 10)
+        assert s.contains(5, 10)
+        assert s.contains(6, 9)
+        assert not s.contains(4, 6)
+        assert not s.contains(9, 11)
+
+    def test_membership_operator(self):
+        s = IntervalSet()
+        s.add(3, 5)
+        assert 3 in s and 4 in s
+        assert 5 not in s and 2 not in s
+
+    def test_overlaps(self):
+        s = IntervalSet()
+        s.add(0, 5)
+        s.add(10, 15)
+        assert s.overlaps(3, 12) == 4  # 3,4 and 10,11
+        assert s.overlaps(5, 10) == 0
+
+    def test_is_complete(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        assert s.is_complete(10)
+        assert not s.is_complete(11)
+
+    def test_incomplete_with_gap(self):
+        s = IntervalSet()
+        s.add(0, 4)
+        s.add(6, 10)
+        assert not s.is_complete(10)
+
+    def test_missing(self):
+        s = IntervalSet()
+        s.add(2, 4)
+        s.add(6, 8)
+        assert s.missing(10) == [(0, 2), (4, 6), (8, 10)]
+
+    def test_missing_when_complete(self):
+        s = IntervalSet()
+        s.add(0, 7)
+        assert s.missing(7) == []
+
+    def test_missing_of_empty(self):
+        assert IntervalSet().missing(3) == [(0, 3)]
+
+    def test_span_end(self):
+        s = IntervalSet()
+        assert s.span_end == 0
+        s.add(3, 9)
+        assert s.span_end == 9
+
+    def test_bool_and_len(self):
+        s = IntervalSet()
+        assert not s and len(s) == 0
+        s.add(0, 1)
+        s.add(5, 6)
+        assert s and len(s) == 2
+
+
+# ----------------------------------------------------------------------
+# Property tests against a naive set-of-integers model.
+# ----------------------------------------------------------------------
+
+intervals_strategy = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(1, 30)).map(
+        lambda t: (t[0], t[0] + t[1])
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(intervals_strategy)
+def test_add_matches_model(pairs):
+    s = IntervalSet()
+    model: set[int] = set()
+    for start, end in pairs:
+        fresh = set(range(start, end)) - model
+        assert s.add(start, end) == len(fresh)
+        model |= set(range(start, end))
+    assert s.covered() == len(model)
+    covered = [u for lo, hi in s.intervals() for u in range(lo, hi)]
+    assert set(covered) == model
+    # Internal representation must be sorted and disjoint.
+    ivs = s.intervals()
+    assert all(lo < hi for lo, hi in ivs)
+    assert all(ivs[i][1] < ivs[i + 1][0] for i in range(len(ivs) - 1))
+
+
+@given(intervals_strategy, st.integers(0, 220), st.integers(1, 40))
+def test_queries_match_model(pairs, qstart, qlen):
+    s = IntervalSet()
+    model: set[int] = set()
+    for start, end in pairs:
+        s.add(start, end)
+        model |= set(range(start, end))
+    qend = qstart + qlen
+    assert s.contains(qstart, qend) == set(range(qstart, qend)).issubset(model)
+    assert s.overlaps(qstart, qend) == len(set(range(qstart, qend)) & model)
+
+
+@given(intervals_strategy, st.integers(1, 240))
+def test_missing_matches_model(pairs, total):
+    s = IntervalSet()
+    model: set[int] = set()
+    for start, end in pairs:
+        s.add(start, end)
+        model |= set(range(start, end))
+    gaps = {u for lo, hi in s.missing(total) for u in range(lo, hi)}
+    assert gaps == set(range(total)) - model
+    assert s.is_complete(total) == set(range(total)).issubset(model)

@@ -1,0 +1,96 @@
+"""Property tests for packet packing and the Figure 4 closure laws."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packet import (
+    Packet,
+    pack_chunks,
+    repack,
+    repack_with_reassembly,
+    unpack_all,
+)
+from repro.core.reassemble import coalesce
+
+from tests.core.test_fragment_properties import chunks as chunk_strategy
+
+
+def _distinct_streams(chunk_list):
+    """Give each generated chunk its own connection so pools never
+    overlap (packing semantics, not reassembly, is under test)."""
+    out = []
+    for index, chunk in enumerate(chunk_list):
+        out.append(
+            chunk.with_tuples(
+                c=type(chunk.c)(index + 1, chunk.c.sn, chunk.c.st),
+            )
+        )
+    return out
+
+
+few_chunks = st.lists(chunk_strategy(max_units=24, max_size=2), min_size=1, max_size=6)
+mtus = st.sampled_from([128, 296, 576, 1500])
+
+
+@given(few_chunks, mtus)
+@settings(max_examples=60, deadline=None)
+def test_every_packet_fits_its_mtu(chunk_list, mtu):
+    packets = pack_chunks(_distinct_streams(chunk_list), mtu)
+    for packet in packets:
+        assert packet.wire_bytes <= mtu
+
+
+@given(few_chunks, mtus)
+@settings(max_examples=60, deadline=None)
+def test_packing_conserves_payload(chunk_list, mtu):
+    items = _distinct_streams(chunk_list)
+    packets = pack_chunks(items, mtu)
+    sent = sorted(c.payload for c in items)
+    got = {}
+    for chunk in unpack_all(packets):
+        got.setdefault(chunk.c.ident, []).append(chunk)
+    rebuilt = sorted(
+        merged.payload
+        for chunks in got.values()
+        for merged in coalesce(chunks)
+    )
+    assert rebuilt == sent
+
+
+@given(few_chunks, mtus, mtus)
+@settings(max_examples=40, deadline=None)
+def test_repack_composes_across_mtus(chunk_list, mtu_a, mtu_b):
+    """Envelope changes compose: pack at A, repack at B, coalesce —
+    identity on the chunk pool (Figure 4 transparency)."""
+    items = _distinct_streams(chunk_list)
+    packets_a = pack_chunks(items, max(mtu_a, 128))
+    packets_b = repack(packets_a, max(mtu_b, 128))
+    by_connection = {}
+    for chunk in unpack_all(packets_b):
+        by_connection.setdefault(chunk.c.ident, []).append(chunk)
+    merged = [m for pool in by_connection.values() for m in coalesce(pool)]
+    assert sorted(m.payload for m in merged) == sorted(c.payload for c in items)
+
+
+@given(few_chunks, mtus)
+@settings(max_examples=40, deadline=None)
+def test_reassembling_repack_never_increases_packets(chunk_list, mtu):
+    items = _distinct_streams(chunk_list)
+    small = pack_chunks(items, 128)
+    plain = repack(small, mtu)
+    merged = repack_with_reassembly(small, mtu)
+    assert len(merged) <= len(plain)
+
+
+@given(few_chunks, mtus, st.integers(0, 2**32))
+@settings(max_examples=40, deadline=None)
+def test_wire_roundtrip_of_any_packing(chunk_list, mtu, seed):
+    items = _distinct_streams(chunk_list)
+    packets = pack_chunks(items, mtu)
+    random.Random(seed).shuffle(packets)
+    for packet in packets:
+        assert Packet.decode(packet.encode()).chunks == packet.chunks

@@ -1,0 +1,68 @@
+"""Unit tests for framing tuples."""
+
+import pytest
+
+from repro.core.tuples import FramingTuple
+
+
+class TestConstruction:
+    def test_defaults(self):
+        t = FramingTuple(5, 7)
+        assert t.ident == 5
+        assert t.sn == 7
+        assert t.st is False
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            FramingTuple(-1, 0)
+
+    def test_negative_sn_rejected(self):
+        with pytest.raises(ValueError):
+            FramingTuple(0, -3)
+
+    def test_frozen(self):
+        t = FramingTuple(1, 2)
+        with pytest.raises(AttributeError):
+            t.sn = 9  # type: ignore[misc]
+
+    def test_equality_and_hash(self):
+        assert FramingTuple(1, 2, True) == FramingTuple(1, 2, True)
+        assert FramingTuple(1, 2, True) != FramingTuple(1, 2, False)
+        assert len({FramingTuple(1, 2), FramingTuple(1, 2)}) == 1
+
+
+class TestFragmentDerivation:
+    def test_advanced_moves_sn_and_clears_st(self):
+        t = FramingTuple(9, 100, st=True)
+        adv = t.advanced(25)
+        assert adv == FramingTuple(9, 125, st=False)
+
+    def test_head_clears_st_only(self):
+        t = FramingTuple(9, 100, st=True)
+        assert t.head() == FramingTuple(9, 100, st=False)
+
+    def test_tail_preserves_st(self):
+        assert FramingTuple(9, 100, st=True).tail(10) == FramingTuple(9, 110, st=True)
+        assert FramingTuple(9, 100, st=False).tail(10) == FramingTuple(9, 110, st=False)
+
+    def test_head_of_clear_st_is_identity(self):
+        t = FramingTuple(3, 4, st=False)
+        assert t.head() == t
+
+
+class TestAdjacency:
+    def test_follows_true(self):
+        a = FramingTuple(1, 10)
+        b = FramingTuple(1, 17)
+        assert b.follows(a, 7)
+
+    def test_follows_wrong_gap(self):
+        assert not FramingTuple(1, 18).follows(FramingTuple(1, 10), 7)
+
+    def test_follows_wrong_id(self):
+        assert not FramingTuple(2, 17).follows(FramingTuple(1, 10), 7)
+
+    def test_follows_ignores_st(self):
+        a = FramingTuple(1, 0, st=True)
+        b = FramingTuple(1, 4, st=True)
+        assert b.follows(a, 4)

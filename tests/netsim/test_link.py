@@ -1,0 +1,120 @@
+"""Unit tests for links and impairments."""
+
+import random
+
+from repro.netsim.events import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.rng import corrupt_bytes, substream
+
+
+def _collect():
+    arrivals = []
+
+    def deliver(frame):
+        arrivals.append(frame)
+
+    return arrivals, deliver
+
+
+class TestTiming:
+    def test_serialization_plus_propagation(self):
+        loop = EventLoop()
+        times = []
+        link = Link(loop, lambda f: times.append(loop.now), rate_bps=8000, delay=0.5)
+        link.send(b"x" * 100)  # 800 bits / 8000 bps = 0.1 s
+        loop.run()
+        assert times == [0.6]
+
+    def test_fifo_no_reorder(self):
+        loop = EventLoop()
+        arrivals, deliver = _collect()
+        link = Link(loop, deliver, rate_bps=1e6, delay=0.01)
+        for i in range(10):
+            link.send(bytes([i]) * 10)
+        loop.run()
+        assert arrivals == [bytes([i]) * 10 for i in range(10)]
+
+    def test_back_to_back_serialization_queues(self):
+        loop = EventLoop()
+        times = []
+        link = Link(loop, lambda f: times.append(loop.now), rate_bps=8000, delay=0.0)
+        link.send(b"x" * 100)
+        link.send(b"y" * 100)
+        loop.run()
+        assert times[0] == 0.1
+        assert abs(times[1] - 0.2) < 1e-12
+
+
+class TestImpairments:
+    def test_oversize_dropped(self):
+        loop = EventLoop()
+        arrivals, deliver = _collect()
+        link = Link(loop, deliver, mtu=50)
+        link.send(b"z" * 51)
+        loop.run()
+        assert arrivals == []
+        assert link.stats.frames_dropped_oversize == 1
+
+    def test_loss_rate_statistics(self):
+        loop = EventLoop()
+        arrivals, deliver = _collect()
+        link = Link(loop, deliver, loss_rate=0.3, rng=random.Random(1), delay=0)
+        for _ in range(1000):
+            link.send(b"frame")
+        loop.run()
+        assert link.stats.frames_lost + len(arrivals) == 1000
+        assert 230 <= link.stats.frames_lost <= 370
+
+    def test_zero_loss_delivers_all(self):
+        loop = EventLoop()
+        arrivals, deliver = _collect()
+        link = Link(loop, deliver)
+        for _ in range(50):
+            link.send(b"frame")
+        loop.run()
+        assert len(arrivals) == 50
+
+    def test_corruption_changes_bytes(self):
+        loop = EventLoop()
+        arrivals, deliver = _collect()
+        link = Link(loop, deliver, corrupt_rate=1.0, rng=random.Random(2))
+        link.send(b"\x00" * 20)
+        loop.run()
+        assert arrivals[0] != b"\x00" * 20
+        assert len(arrivals[0]) == 20
+        assert link.stats.frames_corrupted == 1
+
+    def test_duplication(self):
+        loop = EventLoop()
+        arrivals, deliver = _collect()
+        link = Link(loop, deliver, dup_rate=1.0, rng=random.Random(3))
+        link.send(b"once")
+        loop.run()
+        assert arrivals == [b"once", b"once"]
+        assert link.stats.frames_duplicated == 1
+
+    def test_stats_bytes(self):
+        loop = EventLoop()
+        arrivals, deliver = _collect()
+        link = Link(loop, deliver)
+        link.send(b"x" * 30)
+        loop.run()
+        assert link.stats.bytes_in == 30
+        assert link.stats.bytes_delivered == 30
+
+
+class TestRngHelpers:
+    def test_substream_is_deterministic(self):
+        assert substream(7, "link", 1).random() == substream(7, "link", 1).random()
+
+    def test_substream_labels_differ(self):
+        assert substream(7, "a").random() != substream(7, "b").random()
+
+    def test_corrupt_bytes_flips_exactly_one_bit(self):
+        data = bytes(16)
+        out = corrupt_bytes(data, random.Random(5), flips=1)
+        diff = [a ^ b for a, b in zip(data, out)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+    def test_corrupt_empty_is_noop(self):
+        assert corrupt_bytes(b"", random.Random(5)) == b""

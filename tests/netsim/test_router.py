@@ -1,0 +1,119 @@
+"""Unit tests for chunk-aware routers (Figure 4 in motion)."""
+
+from repro.core.packet import Packet, pack_chunks
+from repro.core.reassemble import coalesce
+from repro.netsim.events import EventLoop
+from repro.netsim.router import ChunkRouter
+
+from tests.conftest import make_chunk
+
+
+def _receive_all(frames):
+    chunks = []
+    for frame in frames:
+        chunks.extend(Packet.decode(frame).chunks)
+    return chunks
+
+
+def _run_router(mode, in_packets, out_mtu, batch_window=0.0):
+    loop = EventLoop()
+    frames = []
+    router = ChunkRouter(
+        loop, frames.append, out_mtu=out_mtu, mode=mode, batch_window=batch_window
+    )
+    for packet in in_packets:
+        router.receive(packet.encode())
+    loop.run()
+    router.flush_now()
+    loop.run()
+    return router, frames
+
+
+class TestLargeToSmall:
+    def test_splits_for_smaller_mtu(self):
+        chunk = make_chunk(units=100, t_st=True)
+        router, frames = _run_router("repack", pack_chunks([chunk], 8192), 256)
+        assert len(frames) > 1
+        assert all(len(f) <= 256 for f in frames)
+        assert coalesce(_receive_all(frames)) == [chunk]
+
+    def test_split_counter(self):
+        chunk = make_chunk(units=100)
+        router, _ = _run_router("repack", pack_chunks([chunk], 8192), 256)
+        assert router.stats.chunks_split > 0
+
+
+class TestSmallToLarge:
+    def _small_packets(self):
+        chunk = make_chunk(units=30, t_st=True)
+        packets = pack_chunks([chunk], 100)
+        assert len(packets) > 1  # genuinely fragmented small packets
+        return chunk, packets
+
+    def test_one_per_packet_mode(self):
+        chunk, small = self._small_packets()
+        router, frames = _run_router("one-per-packet", small, 8192, batch_window=0.01)
+        received = _receive_all(frames)
+        assert len(frames) == len(received)
+        assert coalesce(received) == [chunk]
+
+    def test_repack_mode_combines(self):
+        chunk, small = self._small_packets()
+        router, frames = _run_router("repack", small, 8192, batch_window=0.01)
+        assert len(frames) < len(small)
+        assert coalesce(_receive_all(frames)) == [chunk]
+
+    def test_reassemble_mode_merges_headers(self):
+        chunk, small = self._small_packets()
+        router, frames = _run_router("reassemble", small, 8192, batch_window=0.01)
+        received = _receive_all(frames)
+        assert received == [chunk]  # single merged chunk
+        assert router.stats.chunks_merged > 0
+
+    def test_reassemble_has_fewest_bytes(self):
+        _, small = self._small_packets()
+        results = {}
+        for mode in ("one-per-packet", "repack", "reassemble"):
+            _, frames = _run_router(mode, small, 8192, batch_window=0.01)
+            results[mode] = sum(len(f) for f in frames)
+        assert results["reassemble"] <= results["repack"] < results["one-per-packet"]
+
+
+class TestRouterBehaviour:
+    def test_transparent_to_receiver(self):
+        """Receivers see well-formed chunks whatever the router did."""
+        chunk = make_chunk(units=64, t_st=True, x_st=True)
+        for mode in ("one-per-packet", "repack", "reassemble"):
+            _, frames = _run_router(mode, pack_chunks([chunk], 2048), 300)
+            assert coalesce(_receive_all(frames)) == [chunk]
+
+    def test_garbage_frame_dropped(self):
+        loop = EventLoop()
+        frames = []
+        router = ChunkRouter(loop, frames.append, out_mtu=1500)
+        router.receive(b"not a packet at all")
+        loop.run()
+        assert frames == []
+        assert router.stats.decode_failures == 1
+
+    def test_stats_accounting(self):
+        chunk = make_chunk(units=10)
+        router, frames = _run_router("repack", pack_chunks([chunk], 1500), 1500)
+        assert router.stats.frames_in == 1
+        assert router.stats.frames_out == len(frames)
+        assert router.stats.chunks_in == 1
+
+    def test_batch_window_flushes_on_budget(self):
+        """Enough arriving chunks to fill the out MTU flush immediately,
+        without waiting for the timer."""
+        chunk = make_chunk(units=120, t_st=True)
+        small = pack_chunks([chunk], 100)
+        loop = EventLoop()
+        frames = []
+        router = ChunkRouter(
+            loop, frames.append, out_mtu=500, mode="repack", batch_window=10.0
+        )
+        for packet in small:
+            router.receive(packet.encode())
+        loop.run(until=1.0)  # well before the 10 s timer
+        assert frames  # budget-triggered flush happened
