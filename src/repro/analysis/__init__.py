@@ -1,0 +1,43 @@
+"""protolint — protocol-aware static analysis for the repro codebase.
+
+The chunk design only works because the wire format is rigidly
+self-describing: a 44-byte fixed-field header whose widths, flag bits
+and sentinels are documented in :mod:`repro.core.codec` but historically
+enforced by a single ``assert`` and hand-discipline.  This subsystem
+turns those conventions into machine-checked invariants that run before
+the test suite does:
+
+- ``wire-width`` — every ``struct`` format string is parseable, uses
+  explicit network byte order, agrees with the documented constants in
+  :mod:`repro.core.types`, and matches literal slice widths at its call
+  sites (Appendix A fixed-field format).
+- ``codec-symmetry`` — every public ``encode_*`` has a ``decode_*``
+  twin in the same module, and vice versa.
+- ``determinism`` — no direct ``random`` / ``time.time`` /
+  ``datetime.now`` / ``os.urandom`` inside the simulator, transport or
+  host packages; stochastic behaviour routes through
+  :mod:`repro.netsim.rng` so benchmark runs are reproducible.
+- ``exception-discipline`` — protocol layers raise only the exception
+  types defined in :mod:`repro.core.errors` (plus a short builtin
+  allowlist), and never use bare/overbroad ``except``.
+- ``export-drift`` — every ``__all__`` entry exists and every public
+  top-level def/class is either exported or underscore-private.
+
+Run it as ``python -m repro.analysis`` (see :mod:`repro.analysis.cli`).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.core import Finding, ModuleUnit, Pass, run_passes
+from repro.analysis.passes import all_passes
+
+__all__ = [
+    "Finding",
+    "ModuleUnit",
+    "Pass",
+    "run_passes",
+    "all_passes",
+    "load_baseline",
+    "write_baseline",
+]

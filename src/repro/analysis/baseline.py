@@ -1,0 +1,74 @@
+"""Baseline file handling for protolint.
+
+A baseline records *accepted* findings by fingerprint so the analyzer
+can gate on **new** findings only.  The shipped baseline
+(``protolint.baseline.json``) is empty — the policy of ISSUE 1 — and
+every entry that is ever added must carry a human-written
+``justification`` string or loading fails.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.core import Finding
+from repro.core.errors import AnalysisError
+
+__all__ = ["load_baseline", "write_baseline", "filter_new"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Load accepted fingerprints; every entry must be justified."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {path}: unsupported format (want version {BASELINE_VERSION})"
+        )
+    entries = data.get("findings")
+    if not isinstance(entries, list):
+        raise AnalysisError(f"baseline {path}: 'findings' must be a list")
+    fingerprints: set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or not isinstance(entry.get("fingerprint"), str):
+            raise AnalysisError(f"baseline {path}: malformed entry {entry!r}")
+        justification = entry.get("justification")
+        if not isinstance(justification, str) or not justification.strip():
+            raise AnalysisError(
+                f"baseline {path}: entry {entry['fingerprint']} lacks a justification "
+                "(every baselined finding needs a reason it is acceptable)"
+            )
+        fingerprints.add(entry["fingerprint"])
+    return fingerprints
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write *findings* as a baseline skeleton.
+
+    Justifications are stamped with a placeholder that loads (it is
+    non-empty) but is meant to be replaced during review.
+    """
+    entries = [
+        {
+            "fingerprint": finding.fingerprint,
+            "pass": finding.pass_id,
+            "path": finding.path,
+            "symbol": finding.symbol,
+            "message": finding.message,
+            "justification": "accepted when baseline was written; replace with a real reason",
+        }
+        for finding in findings
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def filter_new(findings: Iterable[Finding], accepted: set[str]) -> list[Finding]:
+    """Findings whose fingerprint is not in the baseline."""
+    return [finding for finding in findings if finding.fingerprint not in accepted]

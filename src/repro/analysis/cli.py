@@ -1,0 +1,179 @@
+"""Command line for protolint: ``python -m repro.analysis``.
+
+Exit codes: 0 = no new findings, 1 = new findings, 2 = bad invocation.
+By default only ``error``-severity findings affect the exit code;
+``--strict`` counts warnings too.  A baseline file (default
+``protolint.baseline.json`` next to the analyzed tree, when present)
+lists accepted findings by fingerprint; anything not in it is *new*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import filter_new, load_baseline, write_baseline
+from repro.analysis.core import Finding, ModuleUnit, run_passes
+from repro.analysis.passes import all_passes
+from repro.core.errors import AnalysisError
+
+__all__ = ["main", "collect_units", "default_target"]
+
+DEFAULT_BASELINE_NAME = "protolint.baseline.json"
+
+
+def default_target() -> Path:
+    """The tree to analyze when no paths are given.
+
+    Prefer ``src/repro`` under the current directory (the repo layout);
+    fall back to the installed package's own directory.
+    """
+    candidate = Path("src") / "repro"
+    if candidate.is_dir():
+        return candidate
+    return Path(__file__).resolve().parent.parent
+
+
+def collect_units(paths: Sequence[Path]) -> list[ModuleUnit]:
+    units: list[ModuleUnit] = []
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            files = [path]
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+        for file in files:
+            resolved = file.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            units.append(ModuleUnit.from_path(file))
+    return units
+
+
+def _render_text(findings: list[Finding], new: list[Finding], strict: bool) -> str:
+    lines = [finding.render() for finding in new]
+    baselined = len(findings) - len(new)
+    errors = sum(1 for f in new if f.severity == "error")
+    warnings = len(new) - errors
+    summary = f"protolint: {errors} error(s), {warnings} warning(s)"
+    if baselined:
+        summary += f", {baselined} baselined"
+    if strict:
+        summary += " [strict]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="protolint: protocol-aware static analysis for the repro tree",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated pass ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="IDS",
+        help="comma-separated pass ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME} if it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also affect the exit code",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list available passes and exit",
+    )
+    args = parser.parse_args(argv)
+
+    passes = all_passes()
+    if args.list_passes:
+        for pass_ in passes:
+            print(f"{pass_.id:22s} {pass_.description}")
+        return 0
+
+    known = {pass_.id for pass_ in passes}
+    for option in ("select", "disable"):
+        raw = getattr(args, option)
+        if raw is None:
+            continue
+        ids = {part.strip() for part in raw.split(",") if part.strip()}
+        unknown = ids - known
+        if unknown:
+            parser.error(f"unknown pass id(s) for --{option}: {', '.join(sorted(unknown))}")
+        if option == "select":
+            passes = [pass_ for pass_ in passes if pass_.id in ids]
+        else:
+            passes = [pass_ for pass_ in passes if pass_.id not in ids]
+
+    paths = list(args.paths) or [default_target()]
+    baseline_path = args.baseline
+    if baseline_path is None:
+        implicit = Path(DEFAULT_BASELINE_NAME)
+        if implicit.is_file():
+            baseline_path = implicit
+
+    try:
+        units = collect_units(paths)
+        findings = run_passes(units, passes)
+        if args.write_baseline:
+            target = baseline_path or Path(DEFAULT_BASELINE_NAME)
+            write_baseline(target, findings)
+            print(f"protolint: wrote {len(findings)} finding(s) to {target}")
+            return 0
+        accepted: set[str] = set()
+        if baseline_path is not None:
+            accepted = load_baseline(baseline_path)
+    except AnalysisError as exc:
+        print(f"protolint: {exc}", file=sys.stderr)
+        return 2
+
+    new = filter_new(findings, accepted)
+
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "passes": sorted(pass_.id for pass_ in passes),
+            "files": len(units),
+            "findings": [finding.to_json() for finding in new],
+            "baselined": len(findings) - len(new),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(_render_text(findings, new, args.strict))
+
+    gating = new if args.strict else [f for f in new if f.severity == "error"]
+    return 1 if gating else 0

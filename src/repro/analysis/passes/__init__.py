@@ -1,0 +1,30 @@
+"""The five protolint passes (see :mod:`repro.analysis` for overview)."""
+
+from __future__ import annotations
+
+from repro.analysis.core import Pass
+from repro.analysis.passes.codec_symmetry import CodecSymmetryPass
+from repro.analysis.passes.determinism import DeterminismPass
+from repro.analysis.passes.exception_discipline import ExceptionDisciplinePass
+from repro.analysis.passes.export_drift import ExportDriftPass
+from repro.analysis.passes.wire_width import WireWidthPass
+
+__all__ = [
+    "WireWidthPass",
+    "CodecSymmetryPass",
+    "DeterminismPass",
+    "ExceptionDisciplinePass",
+    "ExportDriftPass",
+    "all_passes",
+]
+
+
+def all_passes() -> list[Pass]:
+    """Fresh instances of every pass, in documentation order."""
+    return [
+        WireWidthPass(),
+        CodecSymmetryPass(),
+        DeterminismPass(),
+        ExceptionDisciplinePass(),
+        ExportDriftPass(),
+    ]

@@ -1,0 +1,57 @@
+"""codec-symmetry: every public ``encode_*`` needs a ``decode_*`` twin.
+
+A wire format with an encoder but no decoder (or vice versa) cannot be
+round-trip tested and invites a second, subtly different implementation
+at the other end of the wire — exactly the transmitter/receiver
+disagreement the paper's invariant machinery exists to prevent.  The
+pass checks module-level public functions only; classes pair their own
+``encode``/``decode`` methods and are conventionally symmetric already.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleUnit, Pass
+
+__all__ = ["CodecSymmetryPass"]
+
+_ENCODE = "encode_"
+_DECODE = "decode_"
+
+
+class CodecSymmetryPass(Pass):
+    id = "codec-symmetry"
+    description = "public encode_*/decode_* functions pair up per module"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        encoders: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        decoders: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        for node in unit.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if node.name.startswith(_ENCODE):
+                encoders[node.name[len(_ENCODE):]] = node
+            elif node.name.startswith(_DECODE):
+                decoders[node.name[len(_DECODE):]] = node
+        for suffix, node in sorted(encoders.items()):
+            if suffix not in decoders:
+                yield self.finding(
+                    unit,
+                    node,
+                    f"encode_{suffix} has no matching decode_{suffix} in this module: "
+                    "asymmetric wire APIs cannot be round-trip tested",
+                    symbol=f"encode_{suffix}",
+                )
+        for suffix, node in sorted(decoders.items()):
+            if suffix not in encoders:
+                yield self.finding(
+                    unit,
+                    node,
+                    f"decode_{suffix} has no matching encode_{suffix} in this module: "
+                    "asymmetric wire APIs cannot be round-trip tested",
+                    symbol=f"decode_{suffix}",
+                )

@@ -1,0 +1,172 @@
+"""determinism: simulator/transport/host code must be reproducible.
+
+The benchmark claims in ``benchmarks/`` are only meaningful because a
+run with a given seed is *exactly* repeatable.  All stochastic behaviour
+must therefore draw from the per-component streams of
+:mod:`repro.netsim.rng`; reaching for the global :mod:`random` module,
+wall-clock time, or OS entropy makes a simulation silently
+unreproducible (an unseeded ``random.Random()`` default is the classic
+version of this bug).
+
+Scope: modules under ``repro.netsim``, ``repro.transport`` and
+``repro.host``; :mod:`repro.netsim.rng` itself is the blessed wrapper
+and is exempt.  ``random.Random`` in *type annotation position* is
+allowed (annotations do not execute), as is ``import random`` under
+``typing.TYPE_CHECKING``.  ``time.perf_counter`` is allowed: it
+measures wall cost of host processing, never simulated behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleUnit, Pass, dotted_name
+
+__all__ = ["DeterminismPass"]
+
+SCOPED_PACKAGES = ("repro.netsim", "repro.transport", "repro.host")
+EXEMPT_MODULES = frozenset({"repro.netsim.rng"})
+
+#: Dotted call targets that are nondeterministic by construction.
+BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "os.urandom",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+    }
+)
+
+#: ``from <module> import <name>`` pairs that smuggle the same in.
+BANNED_FROM_IMPORTS = {
+    "time": {"time", "time_ns"},
+    "os": {"urandom"},
+    "datetime": {"datetime", "date"},
+    "random": None,  # anything from `random` is banned
+}
+
+
+def _annotation_nodes(tree: ast.Module) -> set[int]:
+    """ids of every AST node inside a type-annotation subtree."""
+    out: set[int] = set()
+
+    def mark(expr: ast.expr | None) -> None:
+        if expr is None:
+            return
+        for sub in ast.walk(expr):
+            out.add(id(sub))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            mark(node.annotation)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            mark(node.returns)
+            args = node.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                mark(arg.annotation)
+            if args.vararg:
+                mark(args.vararg.annotation)
+            if args.kwarg:
+                mark(args.kwarg.annotation)
+    return out
+
+
+def _type_checking_nodes(tree: ast.Module) -> set[int]:
+    """ids of nodes inside ``if TYPE_CHECKING:`` blocks (never executed)."""
+    out: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = dotted_name(node.test)
+        if test in {"TYPE_CHECKING", "typing.TYPE_CHECKING"}:
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    out.add(id(sub))
+    return out
+
+
+class DeterminismPass(Pass):
+    id = "determinism"
+    description = "netsim/transport/host route all randomness through netsim.rng"
+
+    def applies(self, module: str) -> bool:
+        if module in EXEMPT_MODULES:
+            return False
+        return any(
+            module == pkg or module.startswith(pkg + ".") for pkg in SCOPED_PACKAGES
+        )
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        if not self.applies(unit.module):
+            return
+        annotations = _annotation_nodes(unit.tree)
+        type_checking = _type_checking_nodes(unit.tree)
+        exempt = annotations | type_checking
+
+        for node in ast.walk(unit.tree):
+            if id(node) in exempt:
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "random":
+                        yield self.finding(
+                            unit,
+                            node,
+                            "direct `import random` in simulator code: use "
+                            "repro.netsim.rng substreams (or import under "
+                            "typing.TYPE_CHECKING for annotations only)",
+                            symbol="import:random",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                banned = BANNED_FROM_IMPORTS.get(root)
+                if banned is None and root in BANNED_FROM_IMPORTS:
+                    yield self.finding(
+                        unit,
+                        node,
+                        f"`from {node.module} import ...` in simulator code: use "
+                        "repro.netsim.rng substreams",
+                        symbol=f"from:{node.module}",
+                    )
+                elif banned:
+                    hit = sorted(
+                        alias.name for alias in node.names if alias.name in banned
+                    )
+                    if hit:
+                        yield self.finding(
+                            unit,
+                            node,
+                            f"`from {node.module} import {', '.join(hit)}` is "
+                            "nondeterministic: simulated behaviour must draw from "
+                            "repro.netsim.rng",
+                            symbol=f"from:{node.module}:{','.join(hit)}",
+                        )
+            elif isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted is None:
+                    continue
+                if dotted.startswith("random."):
+                    yield self.finding(
+                        unit,
+                        node,
+                        f"direct use of `{dotted}` in simulator code: an unseeded or "
+                        "global random stream breaks run reproducibility; use "
+                        "repro.netsim.rng (substream/default_rng)",
+                        symbol=f"use:{dotted}",
+                    )
+                elif dotted in BANNED_CALLS:
+                    yield self.finding(
+                        unit,
+                        node,
+                        f"`{dotted}` is wall-clock/OS-entropy dependent: simulated "
+                        "time comes from the event loop, randomness from "
+                        "repro.netsim.rng",
+                        symbol=f"use:{dotted}",
+                    )

@@ -1,0 +1,135 @@
+"""exception-discipline: one error vocabulary, no blanket catches.
+
+Applications are promised a single base class (``ReproError``) they can
+catch; that only holds if every protocol layer raises types from
+:mod:`repro.core.errors`.  Defining an exception class elsewhere, or
+raising an ad-hoc type, fragments the vocabulary.  Bare ``except:`` and
+``except Exception`` swallow the precise failure classifications
+(Table 1's reason codes) that the end-to-end experiments depend on.
+
+Allowed raises: classes exported by :mod:`repro.core.errors`, a short
+builtin allowlist (``ValueError`` in constructors and friends), and
+re-raising a caught exception variable.  ``except Exception`` is
+tolerated only when the handler re-raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleUnit, Pass, dotted_name
+from repro.core import errors as core_errors
+
+__all__ = ["ExceptionDisciplinePass"]
+
+#: Builtins that protocol code may raise directly: argument validation
+#: and sequence/arithmetic semantics mirroring Python's own.
+ALLOWED_BUILTINS = frozenset(
+    {
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "ZeroDivisionError",
+        "OverflowError",
+        "NotImplementedError",
+        "StopIteration",
+        "AssertionError",
+    }
+)
+
+CANONICAL_ERRORS = frozenset(
+    name
+    for name in getattr(core_errors, "__all__", [])
+    if isinstance(getattr(core_errors, name, None), type)
+    and issubclass(getattr(core_errors, name), BaseException)
+)
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _handler_names(tree: ast.Module) -> set[str]:
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ExceptHandler) and node.name
+    }
+
+
+class ExceptionDisciplinePass(Pass):
+    id = "exception-discipline"
+    description = "raise only repro.core.errors types; no bare/broad excepts"
+
+    def applies(self, module: str) -> bool:
+        return module == "repro" or module.startswith("repro.")
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        if not self.applies(unit.module):
+            return
+        is_errors_module = unit.module == "repro.core.errors"
+        caught_names = _handler_names(unit.tree)
+
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.ClassDef) and not is_errors_module:
+                for base in node.bases:
+                    base_name = (dotted_name(base) or "").rsplit(".", 1)[-1]
+                    if base_name in CANONICAL_ERRORS or base_name in {
+                        "Exception",
+                        "BaseException",
+                    } or base_name.endswith("Error"):
+                        yield self.finding(
+                            unit,
+                            node,
+                            f"exception type {node.name} defined outside "
+                            "repro.core.errors: the error vocabulary lives in one "
+                            "module so `except ReproError` stays complete",
+                            symbol=f"class:{node.name}",
+                        )
+                        break
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                if isinstance(exc, ast.Call):
+                    exc = exc.func
+                name = dotted_name(exc)
+                if name is None:
+                    continue  # dynamic raise; nothing checkable
+                last = name.rsplit(".", 1)[-1]
+                if last in CANONICAL_ERRORS or last in ALLOWED_BUILTINS:
+                    continue
+                if name in caught_names:
+                    continue  # re-raising a caught exception variable
+                yield self.finding(
+                    unit,
+                    node,
+                    f"raise of {name}: protocol layers raise types from "
+                    "repro.core.errors (or an allowlisted builtin), not ad-hoc "
+                    "exceptions",
+                    symbol=f"raise:{name}",
+                )
+            elif isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield self.finding(
+                        unit,
+                        node,
+                        "bare `except:` swallows every failure including "
+                        "KeyboardInterrupt; catch a repro.core.errors type",
+                        symbol="bare-except",
+                    )
+                    continue
+                broad = [
+                    t
+                    for t in (
+                        node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+                    )
+                    if (dotted_name(t) or "").rsplit(".", 1)[-1] in _BROAD
+                ]
+                if broad and not any(isinstance(n, ast.Raise) for n in ast.walk(node)):
+                    yield self.finding(
+                        unit,
+                        node,
+                        "`except Exception` without re-raise hides failure "
+                        "classifications; catch a repro.core.errors type or "
+                        "re-raise",
+                        symbol="broad-except",
+                    )

@@ -25,6 +25,7 @@ from repro.baselines.flagstream import (
     FLAG_BEGIN,
     FLAG_END,
     FlagStreamDecoder,
+    decode_frames,
     encode_frames,
 )
 from repro.baselines.framing_info import (
@@ -97,6 +98,7 @@ __all__ = [
     "FLAG_END",
     "FlagStreamDecoder",
     "encode_frames",
+    "decode_frames",
     "Presence",
     "ProtocolFraming",
     "PROTOCOLS",

@@ -21,13 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.chunk import Chunk
-from repro.core.errors import ReproError
+from repro.core.errors import NotNestedError, ReproError
 
 __all__ = ["NotNestedError", "AxonFraming", "boundaries_from_chunks", "is_nested"]
-
-
-class NotNestedError(ReproError):
-    """A lower-level frame straddles a higher-level frame boundary."""
 
 
 def is_nested(outer_bounds: list[int], inner_bounds: list[int]) -> bool:

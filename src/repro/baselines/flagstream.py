@@ -19,7 +19,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["FLAG_BEGIN", "FLAG_END", "FLAG_ESCAPE", "encode_frames", "FlagStreamDecoder"]
+__all__ = [
+    "FLAG_BEGIN",
+    "FLAG_END",
+    "FLAG_ESCAPE",
+    "encode_frames",
+    "decode_frames",
+    "FlagStreamDecoder",
+]
 
 FLAG_BEGIN = 0x7B   # B symbol
 FLAG_END = 0x7D     # E symbol
@@ -41,6 +48,16 @@ def encode_frames(frames: list[bytes]) -> bytes:
                 out.append(byte)
         out.append(FLAG_END)
     return bytes(out)
+
+
+def decode_frames(data: bytes) -> list[bytes]:
+    """Inverse of :func:`encode_frames` for a complete, in-order stream.
+
+    One-shot wrapper over :class:`FlagStreamDecoder`; use the class
+    directly for incremental feeds or to read the instrumentation
+    counters (bytes examined, garbage outside frames).
+    """
+    return FlagStreamDecoder().feed(data)
 
 
 @dataclass

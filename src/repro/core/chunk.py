@@ -17,8 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.errors import ChunkError
-from repro.core.tuples import FramingTuple
-from repro.core.types import WORD_BYTES, HEADER_BYTES, ChunkType
+from repro.core.tuples import FramingTuple, Level
+from repro.core.types import HEADER_BYTES, WORD_BYTES, ChunkType
 
 __all__ = ["Chunk"]
 
@@ -112,7 +112,7 @@ class Chunk:
     # Derived labels
     # ------------------------------------------------------------------
 
-    def tuple_for(self, level: str) -> FramingTuple:
+    def tuple_for(self, level: Level) -> FramingTuple:
         """Framing tuple for level ``"c"``, ``"t"`` or ``"x"``."""
         try:
             return {"c": self.c, "t": self.t, "x": self.x}[level]

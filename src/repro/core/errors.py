@@ -8,6 +8,21 @@ them through fragmentation and reassembly, and decoding them off the wire.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ChunkError",
+    "FragmentationError",
+    "ReassemblyError",
+    "CodecError",
+    "PacketError",
+    "VirtualReassemblyError",
+    "ErrorDetectionMismatch",
+    "SignalingError",
+    "ErasureError",
+    "NotNestedError",
+    "AnalysisError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -57,3 +72,15 @@ class ErrorDetectionMismatch(ReproError):
 
 class SignalingError(ReproError):
     """Connection signaling failed or arrived out of protocol."""
+
+
+class ErasureError(ReproError):
+    """Erasure repair is not possible for this pattern."""
+
+
+class NotNestedError(ReproError):
+    """A lower-level frame straddles a higher-level frame boundary."""
+
+
+class AnalysisError(ReproError):
+    """The static analyzer could not run (bad input, baseline, config)."""

@@ -23,7 +23,7 @@ from typing import Iterable, Sequence
 from repro.core import codec
 from repro.core.chunk import Chunk
 from repro.core.errors import PacketError
-from repro.core.fragment import fragment_for_mtu
+from repro.core.fragment import fragment_for_mtu, split
 from repro.core.reassemble import coalesce
 from repro.core.types import HEADER_BYTES, PACKET_HEADER_BYTES
 
@@ -163,5 +163,31 @@ def repack_with_reassembly(packets: Sequence[Packet], mtu: int) -> list[Packet]:
 
     Adjacent chunks are merged (Appendix D) before packing, minimizing
     chunk-header overhead at the cost of the reassembly computation.
+    Because a merged chunk re-fragments losslessly at any unit boundary
+    (Appendix C), packing fills each packet's residual space by
+    splitting rather than starting a fresh packet, so method 3 never
+    needs more packets than method 2's header-preserving repack.
     """
-    return pack_chunks(coalesce(unpack_all(packets)), mtu)
+    budget = _chunk_budget(mtu)
+    out: list[Packet] = []
+    current: list[Chunk] = []
+    used = 0
+    for merged in coalesce(unpack_all(packets)):
+        for piece in fragment_for_mtu(merged, mtu, PACKET_HEADER_BYTES):
+            rest: Chunk | None = piece
+            while rest is not None:
+                room = budget - used
+                if rest.wire_bytes <= room:
+                    current.append(rest)
+                    used += rest.wire_bytes
+                    rest = None
+                    continue
+                units_that_fit = (room - HEADER_BYTES) // rest.unit_bytes
+                if 0 < units_that_fit < rest.length and not rest.is_control:
+                    head, rest = split(rest, units_that_fit)
+                    current.append(head)
+                out.append(Packet(chunks=current))
+                current, used = [], 0
+    if current:
+        out.append(Packet(chunks=current))
+    return out

@@ -15,14 +15,15 @@ transport PDU (``T``) and the external/application PDU (``X``), but the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Final, TypeAlias
 
 __all__ = ["FramingTuple", "Level", "LEVELS"]
 
-#: The three framing levels of the paper's TPDU example, in header order.
-LEVELS = ("c", "t", "x")
+#: Type alias for a framing level name (``"c"``, ``"t"`` or ``"x"``).
+Level: TypeAlias = str
 
-#: Type alias for a framing level name.
-Level = str
+#: The three framing levels of the paper's TPDU example, in header order.
+LEVELS: Final[tuple[Level, Level, Level]] = ("c", "t", "x")
 
 
 @dataclass(frozen=True, slots=True)

@@ -10,6 +10,7 @@ of the fixed-field wire encoding described in DESIGN.md section 6.
 from __future__ import annotations
 
 import enum
+from typing import Final
 
 __all__ = [
     "ChunkType",
@@ -22,22 +23,22 @@ __all__ = [
 ]
 
 #: Size in bytes of the 32-bit symbol that all SIZE/LEN accounting uses.
-WORD_BYTES = 4
+WORD_BYTES: Final[int] = 4
 
 #: Bytes of a fixed-field chunk header on the wire:
 #: TYPE(1) + FLAGS(1) + SIZE(2) + LEN(4) + 3 x (ID(4) + SN(8)) = 44.
-HEADER_BYTES = 44
+HEADER_BYTES: Final[int] = 44
 
 #: Bytes of the packet envelope header: MAGIC(2) + FLAGS(1) + reserved(1).
-PACKET_HEADER_BYTES = 4
+PACKET_HEADER_BYTES: Final[int] = 4
 
 #: A chunk header whose LEN field is zero marks the end of valid chunks
 #: within a packet (Section 2: "A chunk with LEN=0 is placed after the
 #: last valid chunk in the packet").
-SENTINEL_LEN = 0
+SENTINEL_LEN: Final[int] = 0
 
 #: Figure 5 limits TPDU data to 16,384 32-bit symbols.
-MAX_TPDU_SYMBOLS = 16_384
+MAX_TPDU_SYMBOLS: Final[int] = 16_384
 
 
 class ChunkType(enum.IntEnum):

@@ -10,7 +10,7 @@ from repro.netsim.events import EventLoop
 from repro.netsim.link import Link, LinkStats
 from repro.netsim.multipath import MultipathChannel, aurora_stripe
 from repro.netsim.router import ChunkRouter, RepackMode, RouterStats
-from repro.netsim.rng import corrupt_bytes, substream
+from repro.netsim.rng import corrupt_bytes, default_rng, substream
 from repro.netsim.routechange import RouteSwitcher
 from repro.netsim.topology import ChunkPath, HopSpec, build_chunk_path
 from repro.netsim.trace import ArrivalRecord, ReceiverTrace
@@ -29,6 +29,7 @@ __all__ = [
     "RouterStats",
     "RepackMode",
     "substream",
+    "default_rng",
     "corrupt_bytes",
     "HopSpec",
     "ChunkPath",

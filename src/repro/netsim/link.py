@@ -11,12 +11,14 @@ paper's taxonomy of disordering causes (Section 1).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.netsim.events import EventLoop
-from repro.netsim.rng import corrupt_bytes
+from repro.netsim.rng import corrupt_bytes, default_rng
+
+if TYPE_CHECKING:
+    import random
 
 __all__ = ["Link", "LinkStats"]
 
@@ -62,7 +64,7 @@ class Link:
     loss_rate: float = 0.0
     corrupt_rate: float = 0.0
     dup_rate: float = 0.0
-    rng: random.Random = field(default_factory=random.Random)
+    rng: random.Random = field(default_factory=default_rng)
     stats: LinkStats = field(default_factory=LinkStats)
 
     _busy_until: float = field(default=0.0, init=False)

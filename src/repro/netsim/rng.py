@@ -10,7 +10,19 @@ from __future__ import annotations
 
 import random
 
-__all__ = ["substream", "corrupt_bytes"]
+__all__ = ["substream", "default_rng", "corrupt_bytes"]
+
+
+def default_rng() -> random.Random:
+    """A deterministic stream for components created without one.
+
+    Always seed 0: a component that forgets to wire in a
+    :func:`substream` still behaves identically run to run, it just
+    shares its draws with every other forgetful component.  (An
+    *unseeded* ``random.Random()`` default was exactly the
+    reproducibility bug the determinism lint pass exists to catch.)
+    """
+    return random.Random(0)
 
 
 def substream(seed: int, *labels: object) -> random.Random:

@@ -33,6 +33,7 @@ from repro.wsc.invariant import (
     EdPayload,
     TpduInvariant,
     build_ed_chunk,
+    decode_tpdu,
     encode_tpdu,
     parse_ed_chunk,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "build_ed_chunk",
     "parse_ed_chunk",
     "encode_tpdu",
+    "decode_tpdu",
     "T_ID_POS",
     "C_ID_POS",
     "C_ST_POS",

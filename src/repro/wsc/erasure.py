@@ -28,15 +28,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.errors import ReproError
+from repro.core.errors import ErasureError
 from repro.wsc.gf32 import alpha_pow, gf_add, gf_inv, gf_mul
 from repro.wsc.wsc2 import Wsc2Accumulator
 
 __all__ = ["ErasureError", "recover_erasures", "repair_missing_word"]
-
-
-class ErasureError(ReproError):
-    """Erasure repair is not possible for this pattern."""
 
 
 @dataclass(frozen=True, slots=True)

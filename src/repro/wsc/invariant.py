@@ -27,7 +27,7 @@ import struct
 from dataclasses import dataclass, field
 
 from repro.core.chunk import Chunk
-from repro.core.errors import ChunkError
+from repro.core.errors import ChunkError, ErrorDetectionMismatch
 from repro.core.tuples import FramingTuple
 from repro.core.types import MAX_TPDU_SYMBOLS, ChunkType
 from repro.wsc.wsc2 import Wsc2Accumulator, symbols_from_bytes
@@ -42,6 +42,7 @@ __all__ = [
     "build_ed_chunk",
     "parse_ed_chunk",
     "encode_tpdu",
+    "decode_tpdu",
 ]
 
 T_ID_POS = MAX_TPDU_SYMBOLS          # 16384
@@ -196,3 +197,51 @@ def encode_tpdu(chunks: list[Chunk]) -> tuple[EdPayload, Chunk]:
     p0, p1 = invariant.value()
     payload = EdPayload(p0, p1, total_units)
     return payload, build_ed_chunk(c_id, t_id, payload)
+
+
+def decode_tpdu(chunks: list[Chunk], ed: EdPayload) -> bytes:
+    """Receiver-side inverse of :func:`encode_tpdu` for complete TPDUs.
+
+    *chunks* are the TPDU's DATA chunks in any order and any (even
+    different-from-sender) fragmentation, but with no gaps and no
+    overlapping units; *ed* is the parity payload carried by the
+    ERROR_DETECTION chunk.  Verifies the fragmentation-invariant WSC-2
+    check and returns the TPDU payload bytes in T.SN order.  For
+    incremental arrival, duplicate-overlap handling and the full
+    Table 1 reason classification use
+    :class:`repro.wsc.endtoend.EndToEndReceiver`.
+
+    Raises:
+        ChunkError: chunks span multiple PDUs or are not DATA.
+        ErrorDetectionMismatch: units are missing/duplicated
+            (``"reassembly-error"``) or the parities disagree
+            (``"code-mismatch"``).
+    """
+    if not chunks:
+        raise ChunkError("a TPDU needs at least one DATA chunk")
+    c_id = chunks[0].c.ident
+    t_id = chunks[0].t.ident
+    invariant = TpduInvariant(c_id, t_id)
+    units: dict[int, bytes] = {}
+    for chunk in chunks:
+        if chunk.c.ident != c_id or chunk.t.ident != t_id:
+            raise ChunkError("chunks span more than one (connection, TPDU)")
+        invariant.add_chunk(chunk)
+        for index in range(chunk.length):
+            t_sn = chunk.t.sn + index
+            if t_sn in units:
+                raise ErrorDetectionMismatch(
+                    "reassembly-error", f"unit {t_sn} delivered more than once"
+                )
+            units[t_sn] = chunk.unit(index)
+    missing = [t_sn for t_sn in range(ed.total_units) if t_sn not in units]
+    if missing or len(units) != ed.total_units:
+        raise ErrorDetectionMismatch(
+            "reassembly-error",
+            f"expected units 0..{ed.total_units - 1}, missing {missing[:8]}"
+            if missing
+            else f"units beyond total_units={ed.total_units} present",
+        )
+    if not invariant.matches(ed.p0, ed.p1):
+        raise ErrorDetectionMismatch("code-mismatch", "WSC-2 parities disagree")
+    return b"".join(units[t_sn] for t_sn in range(ed.total_units))

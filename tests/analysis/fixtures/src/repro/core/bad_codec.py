@@ -1,0 +1,13 @@
+"""codec-symmetry fixture: encoders and decoders without twins."""
+
+__all__ = ["encode_record", "decode_trailer"]
+
+
+def encode_record(record):
+    """Has no decode_record anywhere in the module."""
+    return bytes(record)
+
+
+def decode_trailer(data):
+    """Has no encode_trailer anywhere in the module."""
+    return list(data)

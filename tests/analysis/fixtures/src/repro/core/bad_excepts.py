@@ -1,0 +1,27 @@
+"""exception-discipline fixture: ad-hoc errors and blanket catches."""
+
+__all__ = ["LocalProtocolError", "risky", "swallow", "swallow_everything"]
+
+
+class LocalProtocolError(Exception):
+    """Defined outside repro.core.errors."""
+
+
+def risky(flag):
+    if flag:
+        raise RuntimeError("ad-hoc exception type")
+    raise LocalProtocolError("also ad-hoc")
+
+
+def swallow(thunk):
+    try:
+        return thunk()
+    except Exception:
+        return None
+
+
+def swallow_everything(thunk):
+    try:
+        return thunk()
+    except:  # noqa: E722
+        return None

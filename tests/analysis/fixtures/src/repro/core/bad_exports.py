@@ -1,0 +1,12 @@
+"""export-drift fixture: phantom exports and unexported public defs."""
+
+__all__ = ["real_function", "ghost_function"]
+
+
+def real_function():
+    return 1
+
+
+def stowaway_function():
+    """Public but missing from __all__."""
+    return 2

@@ -1,0 +1,15 @@
+"""determinism fixture: nondeterminism inside a netsim-scoped module."""
+
+import os
+import random
+import time
+
+__all__ = ["jittered_delay", "random_token"]
+
+
+def jittered_delay(base):
+    return base + random.random() * time.time()
+
+
+def random_token():
+    return os.urandom(8) + str(random.Random().randint(0, 9)).encode()

@@ -1,0 +1,31 @@
+"""Negative control: a netsim-scoped module every pass accepts.
+
+Wire struct matches its documented width, encode/decode pair up,
+randomness routes through repro.netsim.rng, raises use the canonical
+vocabulary, and the export list is exact.
+"""
+
+import struct
+
+from repro.core.errors import CodecError
+from repro.core.types import WORD_BYTES
+from repro.netsim.rng import substream
+
+__all__ = ["encode_word", "decode_word", "jitter"]
+
+_WORD = struct.Struct(">I")
+assert _WORD.size == WORD_BYTES
+
+
+def encode_word(value: int) -> bytes:
+    return _WORD.pack(value & 0xFFFFFFFF)
+
+
+def decode_word(data: bytes) -> int:
+    if len(data) != WORD_BYTES:
+        raise CodecError(f"need exactly {WORD_BYTES} bytes, got {len(data)}")
+    return _WORD.unpack(data[:4])[0]
+
+
+def jitter(seed: int, base: float) -> float:
+    return base * (1.0 + substream(seed, "jitter").random())

@@ -1,0 +1,142 @@
+"""End-to-end tests for ``python -m repro.analysis``.
+
+The acceptance contract of ISSUE 1: exit 0 on the real tree with the
+shipped (empty) baseline, non-zero on the violation fixtures, valid
+JSON under ``--format json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.core.errors import AnalysisError
+
+REPO_ROOT = Path(__file__).parents[2]
+FIXTURES = Path(__file__).parent / "fixtures" / "src" / "repro"
+
+
+def run_protolint(*args: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess[str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+        check=False,
+    )
+
+
+class TestRealTree:
+    def test_strict_run_is_clean(self):
+        result = run_protolint("--strict")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 error(s), 0 warning(s)" in result.stdout
+
+    def test_json_output_is_valid_and_empty(self):
+        result = run_protolint("--format", "json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["version"] == 1
+        assert payload["findings"] == []
+        assert payload["files"] > 40
+        assert sorted(payload["passes"]) == [
+            "codec-symmetry",
+            "determinism",
+            "exception-discipline",
+            "export-drift",
+            "wire-width",
+        ]
+
+
+class TestFixtures:
+    def test_fixtures_fail_with_nonzero_exit(self):
+        result = run_protolint(str(FIXTURES))
+        assert result.returncode == 1
+        assert "error" in result.stdout
+
+    def test_fixture_findings_cover_every_pass(self):
+        result = run_protolint("--format", "json", str(FIXTURES))
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        reported = {finding["pass"] for finding in payload["findings"]}
+        assert reported == {
+            "wire-width",
+            "codec-symmetry",
+            "determinism",
+            "exception-discipline",
+            "export-drift",
+        }
+
+    def test_select_limits_passes(self):
+        result = run_protolint("--format", "json", "--select", "export-drift", str(FIXTURES))
+        payload = json.loads(result.stdout)
+        assert {finding["pass"] for finding in payload["findings"]} == {"export-drift"}
+
+    def test_disable_removes_pass(self):
+        result = run_protolint(
+            "--format", "json", "--disable", "export-drift", str(FIXTURES)
+        )
+        payload = json.loads(result.stdout)
+        assert "export-drift" not in {f["pass"] for f in payload["findings"]}
+
+    def test_unknown_pass_id_is_usage_error(self):
+        result = run_protolint("--select", "no-such-pass")
+        assert result.returncode == 2
+
+    def test_baseline_accepts_known_findings(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write = run_protolint(str(FIXTURES), "--baseline", str(baseline), "--write-baseline")
+        assert write.returncode == 0, write.stdout + write.stderr
+        rerun = run_protolint(str(FIXTURES), "--baseline", str(baseline))
+        assert rerun.returncode == 0, rerun.stdout + rerun.stderr
+        assert "baselined" in rerun.stdout
+
+
+class TestBaselineFile:
+    def test_shipped_baseline_is_empty(self):
+        payload = json.loads((REPO_ROOT / "protolint.baseline.json").read_text())
+        assert payload == {"version": 1, "findings": []}
+
+    def test_unjustified_entry_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {"version": 1, "findings": [{"fingerprint": "abc123", "justification": ""}]}
+            )
+        )
+        with pytest.raises(AnalysisError, match="justification"):
+            load_baseline(path)
+
+    def test_write_then_load_roundtrips(self, tmp_path):
+        from repro.analysis.core import Finding
+
+        finding = Finding(pass_id="wire-width", path="x.py", line=3, message="m", symbol="s")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding])
+        assert load_baseline(path) == {finding.fingerprint}
+
+
+class TestListPasses:
+    def test_lists_all_five(self):
+        result = run_protolint("--list-passes")
+        assert result.returncode == 0
+        for pass_id in (
+            "wire-width",
+            "codec-symmetry",
+            "determinism",
+            "exception-discipline",
+            "export-drift",
+        ):
+            assert pass_id in result.stdout

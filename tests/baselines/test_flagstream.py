@@ -9,6 +9,7 @@ from repro.baselines.flagstream import (
     FLAG_BEGIN,
     FLAG_END,
     FlagStreamDecoder,
+    decode_frames,
     encode_frames,
 )
 
@@ -17,6 +18,13 @@ class TestRoundTrip:
     def test_single_frame(self):
         decoder = FlagStreamDecoder()
         assert decoder.feed(encode_frames([b"hello"])) == [b"hello"]
+
+    def test_decode_frames_inverts_encode_frames(self):
+        frames = [b"one", bytes([FLAG_BEGIN, FLAG_END, 0x7C]), b"", b"three"]
+        assert decode_frames(encode_frames(frames)) == frames
+
+    def test_decode_frames_empty_stream(self):
+        assert decode_frames(b"") == []
 
     def test_multiple_frames(self):
         frames = [b"one", b"two", b"three"]

@@ -1,13 +1,14 @@
 """Unit and property tests for the Figure 5/6 TPDU invariant."""
 
 import random
+from dataclasses import replace
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.builder import ChunkStreamBuilder
-from repro.core.errors import ChunkError
+from repro.core.errors import ChunkError, ErrorDetectionMismatch
 from repro.core.fragment import split_to_unit_limit
 from repro.wsc.invariant import (
     C_ID_POS,
@@ -17,6 +18,7 @@ from repro.wsc.invariant import (
     EdPayload,
     TpduInvariant,
     build_ed_chunk,
+    decode_tpdu,
     encode_tpdu,
     parse_ed_chunk,
 )
@@ -223,3 +225,47 @@ class TestEdChunks:
         forward = encode_tpdu(pieces)[0]
         backward = encode_tpdu(list(reversed(pieces)))[0]
         assert forward == backward
+
+
+class TestDecodeTpdu:
+    def _encoded(self, units=12):
+        builder = ChunkStreamBuilder(connection_id=1, tpdu_units=units)
+        chunks = builder.add_frame(make_payload(units, seed=9))
+        payload, _ = encode_tpdu(chunks)
+        return chunks, payload
+
+    def test_roundtrip(self):
+        chunks, payload = self._encoded()
+        assert decode_tpdu(chunks, payload) == b"".join(c.payload for c in chunks)
+
+    def test_roundtrip_across_refragmentation(self):
+        chunks, payload = self._encoded()
+        pieces = [p for c in chunks for p in split_to_unit_limit(c, 5)]
+        random.Random(7).shuffle(pieces)
+        assert decode_tpdu(pieces, payload) == b"".join(c.payload for c in chunks)
+
+    def test_missing_unit_is_reassembly_error(self):
+        chunks, payload = self._encoded()
+        pieces = [p for c in chunks for p in split_to_unit_limit(c, 1)]
+        with pytest.raises(ErrorDetectionMismatch) as excinfo:
+            decode_tpdu(pieces[:-1], payload)
+        assert excinfo.value.reason == "reassembly-error"
+
+    def test_duplicate_unit_is_reassembly_error(self):
+        chunks, payload = self._encoded()
+        with pytest.raises(ErrorDetectionMismatch) as excinfo:
+            decode_tpdu(chunks + [chunks[0]], payload)
+        assert excinfo.value.reason == "reassembly-error"
+
+    def test_corrupt_payload_is_code_mismatch(self):
+        chunks, payload = self._encoded()
+        flipped = bytearray(chunks[0].payload)
+        flipped[0] ^= 0x01
+        bad = replace(chunks[0], payload=bytes(flipped))
+        with pytest.raises(ErrorDetectionMismatch) as excinfo:
+            decode_tpdu([bad] + list(chunks[1:]), payload)
+        assert excinfo.value.reason == "code-mismatch"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ChunkError):
+            decode_tpdu([], EdPayload(0, 0, 0))

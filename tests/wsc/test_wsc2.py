@@ -87,7 +87,10 @@ class TestOrderIndependence:
     def test_run_partition_does_not_matter(self, symbols, runs, seed):
         reference = wsc2_encode(symbols)
         rng = random.Random(seed)
-        cuts = sorted(rng.sample(range(1, len(symbols)), min(runs, len(symbols) - 1))) if len(symbols) > 1 else []
+        if len(symbols) > 1:
+            cuts = sorted(rng.sample(range(1, len(symbols)), min(runs, len(symbols) - 1)))
+        else:
+            cuts = []
         pieces = []
         last = 0
         for cut in cuts + [len(symbols)]:
