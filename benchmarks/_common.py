@@ -16,14 +16,17 @@ target.  EXPERIMENTS.md records the printed outputs.
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
 
 from repro.core.builder import ChunkStreamBuilder
 from repro.core.chunk import Chunk
+from repro.obs import Registry, Tracer, active_tracer, session, write_jsonl
 from repro.wsc.invariant import encode_tpdu
 
 __all__ = [
     "print_table",
+    "observed",
     "make_bytes",
     "make_chunk",
     "build_stream",
@@ -43,6 +46,29 @@ def print_table(title: str, rows: Sequence[Sequence[object]]) -> None:
         print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
         if index == 0:
             print("  ".join("-" * width for width in widths))
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.event("bench", "table", fields={"title": title, "rows": len(rows) - 1})
+
+
+@contextmanager
+def observed(
+    trace_path: str | None = None,
+    clock: Callable[[], float] | None = None,
+) -> Iterator[tuple[Registry, Tracer]]:
+    """Run a bench under an observability session.
+
+    Installs a fresh registry + tracer for the ``with`` block and, when
+    *trace_path* is given, writes the collected JSONL trace there on the
+    way out (even if the bench raises) — ready for
+    ``python -m repro.obs report``.
+    """
+    with session(clock=clock) as (registry, tracer):
+        try:
+            yield registry, tracer
+        finally:
+            if trace_path is not None:
+                write_jsonl(trace_path, registry=registry, tracer=tracer)
 
 
 def make_bytes(n: int, seed: int = 0) -> bytes:

@@ -7,15 +7,22 @@ into whatever packet has room), retransmissions that reuse the original
 identifiers, and a TPDU size that shrinks to match the observed error
 rate and grows back when the path is clean.
 
-Run:  python examples/reliable_transfer.py
+Run:  python examples/reliable_transfer.py [--trace transfer.jsonl]
+
+With ``--trace PATH`` the run records per-layer counters and events via
+``repro.obs`` and writes a JSONL trace; inspect it afterwards with
+``python -m repro.obs report PATH``.
 """
 
+import argparse
 import random
+import sys
 
 from repro.core.packet import Packet
 from repro.core.types import ChunkType
 from repro.netsim import EventLoop, Link
 from repro.netsim.rng import substream
+from repro.obs import session, write_jsonl
 from repro.transport import (
     AdaptiveTpduPolicy,
     ConnectionConfig,
@@ -28,8 +35,23 @@ FRAME_BYTES = 4096
 LOSS = 0.15
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write an observability trace (JSONL) to PATH",
+    )
+    options = parser.parse_args(argv if argv is not None else [])
+
     loop = EventLoop()
+    with session(clock=lambda: loop.now) as (registry, tracer):
+        _run(loop)
+        if options.trace is not None:
+            records = write_jsonl(options.trace, registry=registry, tracer=tracer)
+            print(f"trace: {records} records -> {options.trace}")
+
+
+def _run(loop: EventLoop) -> None:
     box = {}
 
     forward = Link(
@@ -88,4 +110,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

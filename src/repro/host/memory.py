@@ -17,7 +17,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import counter
+from repro.obs.runtime import CounterHandle
+
 __all__ = ["TouchLedger", "BusModel"]
+
+_OBS_TOUCH_TOTAL = counter("host", "touch_bytes_total", "bytes moved across the bus")
+_KIND_COUNTERS: dict[str, CounterHandle] = {}
+
+
+def _kind_counter(kind: str) -> CounterHandle:
+    handle = _KIND_COUNTERS.get(kind)
+    if handle is None:
+        handle = counter("host", f"touch.{kind}_bytes", f"bytes moved {kind}")
+        _KIND_COUNTERS[kind] = handle
+    return handle
 
 
 @dataclass
@@ -34,6 +48,8 @@ class TouchLedger:
         if nbytes < 0:
             raise ValueError(f"negative byte count {nbytes}")
         self.touches[kind] = self.touches.get(kind, 0) + nbytes
+        _OBS_TOUCH_TOTAL.inc(nbytes)
+        _kind_counter(kind).inc(nbytes)
 
     @property
     def total_bytes_moved(self) -> int:

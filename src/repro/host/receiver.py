@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.core.chunk import Chunk
 from repro.host.delivery import PlacementBuffer
 from repro.host.memory import TouchLedger
+from repro.obs import counter, gauge
 
 __all__ = [
     "DeliveryEvent",
@@ -31,6 +32,15 @@ __all__ = [
     "ReorderReceiver",
     "ReassembleReceiver",
 ]
+
+_OBS_DELIVERIES = counter("host", "deliveries", "byte ranges handed to the application")
+_OBS_DELIVERED_BYTES = counter("host", "delivered_bytes", "payload bytes delivered")
+_OBS_REORDER_BUFFER = gauge(
+    "host", "reorder_buffer_bytes", "bytes parked in the temporal reorder buffer"
+)
+_OBS_REASSEMBLY_BUFFER = gauge(
+    "host", "reassembly_buffer_bytes", "bytes parked in per-TPDU reassembly buffers"
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,6 +92,8 @@ class HostReceiver:
     def _deliver(self, arrival: float, now: float, offset: int, data: bytes) -> None:
         self.app.place(offset, data)
         self.events.append(DeliveryEvent(arrival, now, offset, len(data)))
+        _OBS_DELIVERIES.inc()
+        _OBS_DELIVERED_BYTES.inc(len(data))
 
 
 @dataclass
@@ -99,6 +111,8 @@ class ImmediateReceiver(HostReceiver):
             return  # duplicate: skip, do not re-touch
         self.ledger.record("nic-to-app", len(chunk.payload))
         self.events.append(DeliveryEvent(now, now, offset, len(chunk.payload)))
+        _OBS_DELIVERIES.inc()
+        _OBS_DELIVERED_BYTES.inc(len(chunk.payload))
 
     def finish(self, now: float) -> None:  # nothing pending, ever
         return
@@ -132,6 +146,7 @@ class ReorderReceiver(HostReceiver):
             self._buffer[chunk.c.sn] = (now, chunk)
             occupancy = sum(len(c.payload) for _, c in self._buffer.values())
             self.peak_buffer_bytes = max(self.peak_buffer_bytes, occupancy)
+            _OBS_REORDER_BUFFER.set(occupancy)
 
     def _drain(self, now: float) -> None:
         while self.next_sn in self._buffer:
@@ -139,6 +154,7 @@ class ReorderReceiver(HostReceiver):
             self.ledger.record("buffer-to-app", len(chunk.payload))
             self._deliver(arrival, now, chunk.c.sn * chunk.unit_bytes, chunk.payload)
             self.next_sn += chunk.length
+        _OBS_REORDER_BUFFER.set(self.buffered_bytes)
 
     def finish(self, now: float) -> None:
         """Deliver whatever remains (end-of-run flush past any holes)."""
@@ -146,6 +162,7 @@ class ReorderReceiver(HostReceiver):
             arrival, chunk = self._buffer.pop(sn)
             self.ledger.record("buffer-to-app", len(chunk.payload))
             self._deliver(arrival, now, chunk.c.sn * chunk.unit_bytes, chunk.payload)
+        _OBS_REORDER_BUFFER.set(0)
 
     @property
     def buffered_bytes(self) -> int:
@@ -175,10 +192,12 @@ class ReassembleReceiver(HostReceiver):
         self.ledger.record("nic-to-buffer", fresh)
         self._occupancy += fresh
         self.peak_buffer_bytes = max(self.peak_buffer_bytes, self._occupancy)
+        _OBS_REASSEMBLY_BUFFER.set(self._occupancy)
         if state.complete:
             data = state.buffer.contents()
             self.ledger.record("buffer-to-app", len(data))
             self._occupancy -= len(data)
+            _OBS_REASSEMBLY_BUFFER.set(self._occupancy)
             self._deliver(state.weighted_arrival(), now, state.stream_offset, data)
             del self._tpdus[chunk.t.ident]
 
@@ -192,6 +211,7 @@ class ReassembleReceiver(HostReceiver):
             self._occupancy -= state.buffer.bytes_placed
             self._deliver(state.weighted_arrival(), now, state.stream_offset, data)
         self._tpdus.clear()
+        _OBS_REASSEMBLY_BUFFER.set(max(0, self._occupancy))
 
     @property
     def buffered_bytes(self) -> int:

@@ -16,11 +16,22 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.netsim.events import EventLoop
 from repro.netsim.rng import corrupt_bytes, default_rng
+from repro.obs import counter, gauge
 
 if TYPE_CHECKING:
     import random
 
 __all__ = ["Link", "LinkStats"]
+
+# Aggregated across every link; per-link numbers stay in LinkStats.
+_OBS_FRAMES_IN = counter("netsim", "link.frames_in", "frames offered to links")
+_OBS_FRAMES_DELIVERED = counter("netsim", "link.frames_delivered", "frames delivered")
+_OBS_FRAMES_LOST = counter("netsim", "link.frames_lost", "frames dropped by loss")
+_OBS_FRAMES_CORRUPTED = counter("netsim", "link.frames_corrupted", "frames bit-corrupted")
+_OBS_FRAMES_DUPLICATED = counter("netsim", "link.frames_duplicated", "frames duplicated")
+_OBS_FRAMES_OVERSIZE = counter("netsim", "link.frames_dropped_oversize", "frames over MTU")
+_OBS_BYTES_DELIVERED = counter("netsim", "link.bytes_delivered", "bytes delivered")
+_OBS_INFLIGHT = gauge("netsim", "link.inflight_frames", "frames serializing/propagating")
 
 Deliver = Callable[[bytes], None]
 
@@ -73,15 +84,19 @@ class Link:
         """Queue one frame for transmission at the current sim time."""
         self.stats.frames_in += 1
         self.stats.bytes_in += len(frame)
+        _OBS_FRAMES_IN.inc()
         if len(frame) > self.mtu:
             self.stats.frames_dropped_oversize += 1
+            _OBS_FRAMES_OVERSIZE.inc()
             return
         if self.loss_rate and self.rng.random() < self.loss_rate:
             self.stats.frames_lost += 1
+            _OBS_FRAMES_LOST.inc()
             return
         if self.corrupt_rate and self.rng.random() < self.corrupt_rate:
             frame = corrupt_bytes(frame, self.rng)
             self.stats.frames_corrupted += 1
+            _OBS_FRAMES_CORRUPTED.inc()
 
         start = max(self.loop.now, self._busy_until)
         tx_time = len(frame) * 8 / self.rate_bps
@@ -92,10 +107,15 @@ class Link:
         if self.dup_rate and self.rng.random() < self.dup_rate:
             copies = 2
             self.stats.frames_duplicated += 1
+            _OBS_FRAMES_DUPLICATED.inc()
         for _ in range(copies):
+            _OBS_INFLIGHT.inc()
             self.loop.at(arrival, lambda f=frame: self._arrive(f))
 
     def _arrive(self, frame: bytes) -> None:
         self.stats.frames_delivered += 1
         self.stats.bytes_delivered += len(frame)
+        _OBS_INFLIGHT.dec()
+        _OBS_FRAMES_DELIVERED.inc()
+        _OBS_BYTES_DELIVERED.inc(len(frame))
         self.deliver(frame)

@@ -28,8 +28,18 @@ from repro.core.packet import Packet, pack_chunks
 from repro.core.reassemble import coalesce
 from repro.core.types import PACKET_HEADER_BYTES
 from repro.netsim.events import EventLoop
+from repro.obs import counter, gauge
 
 __all__ = ["ChunkRouter", "RouterStats", "RepackMode"]
+
+_OBS_FRAMES_IN = counter("netsim", "router.frames_in", "frames arriving at routers")
+_OBS_FRAMES_OUT = counter("netsim", "router.frames_out", "frames forwarded by routers")
+_OBS_CHUNKS_IN = counter("netsim", "router.chunks_in", "chunks unpacked at routers")
+_OBS_CHUNKS_OUT = counter("netsim", "router.chunks_out", "chunks re-enveloped out")
+_OBS_CHUNKS_SPLIT = counter("netsim", "router.chunks_split", "Appendix C splits performed")
+_OBS_CHUNKS_MERGED = counter("netsim", "router.chunks_merged", "Appendix D merges performed")
+_OBS_DECODE_FAILURES = counter("netsim", "router.decode_failures", "undecodable frames")
+_OBS_PENDING = gauge("netsim", "router.pending_chunks", "chunks batched awaiting flush")
 
 RepackMode = Literal["repack", "one-per-packet", "reassemble"]
 
@@ -78,14 +88,18 @@ class ChunkRouter:
         """Handle one arriving frame (wire bytes of a chunk packet)."""
         self.stats.frames_in += 1
         self.stats.bytes_in += len(frame)
+        _OBS_FRAMES_IN.inc()
         try:
             packet = Packet.decode(frame)
         except CodecError:
             self.stats.decode_failures += 1
+            _OBS_DECODE_FAILURES.inc()
             return
         self.stats.chunks_in += len(packet.chunks)
+        _OBS_CHUNKS_IN.inc(len(packet.chunks))
         if self.batch_window > 0:
             self._pending.extend(packet.chunks)
+            _OBS_PENDING.set(len(self._pending))
             if self._budget_filled() or not self._flush_scheduled:
                 if self._budget_filled():
                     self._flush()
@@ -106,6 +120,7 @@ class ChunkRouter:
 
     def _flush(self) -> None:
         chunks, self._pending = self._pending, []
+        _OBS_PENDING.set(0)
         self._emit(chunks)
 
     def _emit(self, chunks: list[Chunk]) -> None:
@@ -115,6 +130,7 @@ class ChunkRouter:
             before = len(chunks)
             chunks = coalesce(chunks)
             self.stats.chunks_merged += before - len(chunks)
+            _OBS_CHUNKS_MERGED.inc(before - len(chunks))
         if self.mode == "one-per-packet":
             packets = []
             for chunk in chunks:
@@ -124,10 +140,13 @@ class ChunkRouter:
         out_chunks = sum(len(p.chunks) for p in packets)
         self.stats.chunks_split += max(0, out_chunks - len(chunks))
         self.stats.chunks_out += out_chunks
+        _OBS_CHUNKS_SPLIT.inc(max(0, out_chunks - len(chunks)))
+        _OBS_CHUNKS_OUT.inc(out_chunks)
         for index, packet in enumerate(packets):
             data = packet.encode()
             self.stats.frames_out += 1
             self.stats.bytes_out += len(data)
+            _OBS_FRAMES_OUT.inc()
             delay = self.processing_delay * (index + 1)
             self.loop.schedule(delay, lambda d=data: self.forward(d))
 

@@ -4,7 +4,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import gauge
+
 __all__ = ["ArrivalRecord", "ReceiverTrace"]
+
+_OBS_ARRIVALS = gauge("netsim", "trace.arrivals", "frames recorded by the receiver trace")
+_OBS_LATE = gauge("netsim", "trace.late_arrivals", "frames behind a higher send index")
+_OBS_MAX_DISPLACEMENT = gauge(
+    "netsim", "trace.max_displacement", "worst send-vs-arrival positional displacement"
+)
+_OBS_DISORDER = gauge("netsim", "trace.disorder_fraction", "late arrivals / arrivals")
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,6 +62,26 @@ class ReceiverTrace:
         for position, record in enumerate(self.arrivals):
             worst = max(worst, abs(record.index - position))
         return worst
+
+    def publish(self) -> dict[str, float]:
+        """Publish the disorder metrics as ``netsim`` gauges.
+
+        Sets ``trace.arrivals``, ``trace.late_arrivals``,
+        ``trace.max_displacement``, and ``trace.disorder_fraction`` on
+        the active registry (a no-op when none is installed) and
+        returns the published values.
+        """
+        values = {
+            "arrivals": float(self.count),
+            "late_arrivals": float(self.late_arrivals()),
+            "max_displacement": float(self.max_displacement()),
+            "disorder_fraction": self.disorder_fraction(),
+        }
+        _OBS_ARRIVALS.set(values["arrivals"])
+        _OBS_LATE.set(values["late_arrivals"])
+        _OBS_MAX_DISPLACEMENT.set(values["max_displacement"])
+        _OBS_DISORDER.set(values["disorder_fraction"])
+        return values
 
     def latency_of(self, send_times: dict[int, float]) -> list[float]:
         """Per-frame latency given the sender's emission timestamps."""

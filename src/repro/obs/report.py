@@ -1,0 +1,147 @@
+"""``python -m repro.obs report`` — summarize a JSON-lines trace file.
+
+Reads a file produced by :func:`repro.obs.export.write_jsonl` (for
+example by ``python examples/reliable_transfer.py --trace run.jsonl``)
+and prints the per-layer counters, gauges, histograms, and event
+counts — the paper's quantities (data touches, retransmissions,
+verification outcomes) straight from a recorded run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.obs.export import render_histogram_buckets
+
+__all__ = ["load_records", "summarize", "main"]
+
+
+def load_records(path: str | Path) -> list[dict[str, object]]:
+    """Parse a JSON-lines trace file; raises ValueError on garbage."""
+    records: list[dict[str, object]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})") from exc
+        if not isinstance(record, dict) or "kind" not in record:
+            raise ValueError(f"{path}:{lineno}: record has no 'kind'")
+        records.append(record)
+    return records
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def summarize(
+    records: list[dict[str, object]],
+    scope: str | None = None,
+    show_events: bool = False,
+    show_buckets: bool = False,
+) -> str:
+    """Render the per-scope summary of a record list."""
+    metrics: dict[str, list[dict[str, object]]] = {}
+    event_counts: dict[tuple[str, str], int] = {}
+    dropped = 0
+    for record in records:
+        kind = record.get("kind")
+        if kind in ("counter", "gauge", "histogram", "timer"):
+            record_scope = str(record.get("scope", "?"))
+            if scope is not None and record_scope != scope:
+                continue
+            metrics.setdefault(record_scope, []).append(record)
+        elif kind in ("event", "span"):
+            record_scope = str(record.get("scope", "?"))
+            if scope is not None and record_scope != scope:
+                continue
+            key = (record_scope, str(record.get("name", "?")))
+            event_counts[key] = event_counts.get(key, 0) + 1
+        elif kind == "meta":
+            value = record.get("dropped_records", 0)
+            dropped += int(value) if isinstance(value, (int, float)) else 0
+
+    lines: list[str] = []
+    for record_scope in sorted(metrics):
+        lines.append(f"== {record_scope} ==")
+        rows = sorted(metrics[record_scope], key=lambda r: str(r.get("name", "")))
+        name_width = max(len(str(r.get("name", ""))) for r in rows)
+        kind_width = max(len(str(r.get("kind", ""))) for r in rows)
+        for row in rows:
+            kind = str(row["kind"])
+            name = str(row.get("name", ""))
+            if kind == "counter":
+                detail = _fmt(row.get("value", 0))
+            elif kind == "gauge":
+                detail = (
+                    f"{_fmt(row.get('value', 0))}  "
+                    f"(high-water {_fmt(row.get('high_water', 0))})"
+                )
+            else:
+                detail = (
+                    f"count={_fmt(row.get('count', 0))}  "
+                    f"mean={_fmt(row.get('mean', 0.0))}  "
+                    f"max={_fmt(row.get('max'))}"
+                )
+                buckets = row.get("buckets")
+                if show_buckets and isinstance(buckets, dict) and buckets:
+                    detail += f"  [{render_histogram_buckets(buckets)}]"
+            lines.append(
+                f"  {kind.ljust(kind_width)}  {name.ljust(name_width)}  {detail}"
+            )
+
+    if show_events and event_counts:
+        lines.append("== trace events ==")
+        for (record_scope, name), count in sorted(event_counts.items()):
+            lines.append(f"  {record_scope}.{name}: {count}")
+    if dropped:
+        lines.append(f"(trace dropped {dropped} record(s) past the buffer bound)")
+    if not lines:
+        lines.append("(no matching records)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability trace tooling for the repro simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="summarize a JSON-lines trace file")
+    report.add_argument("trace", help="path to a .jsonl trace file")
+    report.add_argument("--scope", help="only this layer (netsim/transport/host/wsc)")
+    report.add_argument(
+        "--events", action="store_true", help="also count trace events per name"
+    )
+    report.add_argument(
+        "--buckets", action="store_true", help="show histogram bucket detail"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        records = load_records(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(summarize(records, args.scope, args.events, args.buckets))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.  Point
+        # stdout at devnull so the interpreter's exit-time flush of the
+        # dead pipe cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 0

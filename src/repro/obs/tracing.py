@@ -1,0 +1,129 @@
+"""Structured event/span tracing over simulated time.
+
+A :class:`Tracer` collects flat, append-only records: point
+:class:`TraceEvent`\\ s ("this retransmission happened at t=0.31") and
+:class:`TraceSpan`\\ s (an interval with a start and end time).  Records
+carry a *scope* — the layer that emitted them (``netsim``,
+``transport``, ``host``, ``wsc``, ``bench``) — so reports can group a
+run's story per layer.
+
+Timestamps are simulated seconds from the event loop (or whatever
+clock was installed); nothing here reads the wall clock, so traces of
+a seeded run are byte-identical across machines.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+__all__ = ["TraceEvent", "TraceSpan", "Tracer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """A point occurrence at simulated time *t*."""
+
+    t: float
+    scope: str
+    name: str
+    fields: dict[str, object]
+
+    def as_dict(self) -> dict[str, object]:
+        record: dict[str, object] = {
+            "kind": "event",
+            "t": self.t,
+            "scope": self.scope,
+            "name": self.name,
+        }
+        if self.fields:
+            record["fields"] = self.fields
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSpan:
+    """An interval ``[t0, t1]`` of simulated time."""
+
+    t0: float
+    t1: float
+    scope: str
+    name: str
+    fields: dict[str, object]
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def as_dict(self) -> dict[str, object]:
+        record: dict[str, object] = {
+            "kind": "span",
+            "t0": self.t0,
+            "t1": self.t1,
+            "scope": self.scope,
+            "name": self.name,
+        }
+        if self.fields:
+            record["fields"] = self.fields
+        return record
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+@dataclass
+class Tracer:
+    """An append-only, bounded buffer of trace records.
+
+    ``max_records`` bounds memory on long runs; once full, further
+    records are counted in ``dropped`` rather than stored (counters in
+    the registry remain exact — the trace is the narrative, not the
+    ledger).
+    """
+
+    clock: Callable[[], float] = _zero_clock
+    max_records: int = 100_000
+    events: list[TraceEvent] = field(default_factory=list)
+    spans: list[TraceSpan] = field(default_factory=list)
+    dropped: int = 0
+
+    def event(
+        self,
+        scope: str,
+        name: str,
+        t: float | None = None,
+        fields: Mapping[str, object] | None = None,
+    ) -> None:
+        """Record a point event (``t`` defaults to the tracer's clock)."""
+        if len(self.events) + len(self.spans) >= self.max_records:
+            self.dropped += 1
+            return
+        stamp = self.clock() if t is None else t
+        self.events.append(TraceEvent(stamp, scope, name, dict(fields or {})))
+
+    @contextmanager
+    def span(
+        self,
+        scope: str,
+        name: str,
+        fields: Mapping[str, object] | None = None,
+    ) -> Iterator[None]:
+        """Record an interval spanning the ``with`` body (clock-timed)."""
+        t0 = self.clock()
+        try:
+            yield
+        finally:
+            if len(self.events) + len(self.spans) >= self.max_records:
+                self.dropped += 1
+            else:
+                self.spans.append(
+                    TraceSpan(t0, self.clock(), scope, name, dict(fields or {}))
+                )
+
+    def records(self) -> list[TraceEvent | TraceSpan]:
+        """All records merged, ordered by start time (stable)."""
+        merged: list[TraceEvent | TraceSpan] = [*self.events, *self.spans]
+        merged.sort(key=lambda r: r.t if isinstance(r, TraceEvent) else r.t0)
+        return merged

@@ -23,10 +23,33 @@ from repro.core.packet import Packet
 from repro.core.types import ChunkType
 from repro.core.virtual import VirtualReassembler
 from repro.host.delivery import FrameStore, PlacementBuffer
+from repro.obs import counter, histogram
 from repro.transport.connection import ConnectionConfig, parse_signaling_chunk
 from repro.wsc.endtoend import EndToEndReceiver, TpduVerdict
 
 __all__ = ["ReceiverEvents", "ChunkTransportReceiver"]
+
+_OBS_PACKETS = counter("transport", "receiver.packets_received", "wire packets decoded")
+_OBS_CHUNKS = counter("transport", "receiver.chunks_received", "chunks processed on arrival")
+_OBS_DUPLICATES = counter("transport", "receiver.duplicate_chunks", "fully duplicate chunks")
+_OBS_REJECTED = counter(
+    "transport", "receiver.rejected_placements", "placements refused (absurd offsets)"
+)
+_OBS_DECODE_FAILURES = counter(
+    "transport", "receiver.decode_failures", "undecodable wire packets"
+)
+_OBS_OOO_DISTANCE = histogram(
+    "transport",
+    "receiver.ooo_distance",
+    "units between a chunk's C.SN and the in-order arrival frontier",
+)
+# Placement into the application address space is the paper's single
+# data touch (Figure 1): the immediate-processing receiver moves each
+# payload byte across the bus exactly once.
+_OBS_DATA_TOUCHES = counter("host", "data_touches", "payload placements into app memory")
+_OBS_DATA_TOUCH_BYTES = counter(
+    "host", "data_touch_bytes", "fresh payload bytes placed into app memory"
+)
 
 
 @dataclass
@@ -59,15 +82,20 @@ class ChunkTransportReceiver:
     #: SNs); the verifier still sees them, so the TPDU is rejected.
     rejected_placements: int = 0
     closed: bool = False
+    #: the in-order arrival frontier (next C.SN if nothing reordered);
+    #: feeds the out-of-order distance histogram.
+    _frontier_sn: int = 0
 
     def receive_packet(self, frame: bytes) -> ReceiverEvents:
         """Decode a wire packet and process every chunk in it."""
         events = ReceiverEvents()
         self.packets_received += 1
+        _OBS_PACKETS.inc()
         try:
             packet = Packet.decode(frame)
         except CodecError:
             events.decode_failed = True
+            _OBS_DECODE_FAILURES.inc()
             return events
         for chunk in packet.chunks:
             self._receive_chunk(chunk, events)
@@ -83,6 +111,7 @@ class ChunkTransportReceiver:
 
     def _receive_chunk(self, chunk: Chunk, events: ReceiverEvents) -> None:
         self.chunks_received += 1
+        _OBS_CHUNKS.inc()
         if chunk.type is ChunkType.SIGNALING:
             self._handle_signaling(chunk)
             return
@@ -92,6 +121,9 @@ class ChunkTransportReceiver:
         if chunk.type is not ChunkType.DATA:
             return
 
+        _OBS_OOO_DISTANCE.observe(abs(chunk.c.sn - self._frontier_sn))
+        self._frontier_sn = max(self._frontier_sn, chunk.c.sn + chunk.length)
+
         # (1) immediate placement into application memory.  Placement
         # refuses absurd offsets (corrupted SNs) rather than allocating;
         # the verifier below still sees the chunk and rejects the TPDU.
@@ -100,8 +132,13 @@ class ChunkTransportReceiver:
             fresh = self.stream.place(offset, chunk.payload)
             if fresh == 0:
                 self.duplicate_chunks += 1
+                _OBS_DUPLICATES.inc()
+            else:
+                _OBS_DATA_TOUCHES.inc()
+                _OBS_DATA_TOUCH_BYTES.inc(fresh)
         except ValueError:
             self.rejected_placements += 1
+            _OBS_REJECTED.inc()
         try:
             frame_done = self.frames.place(
                 chunk.x.ident,
@@ -113,6 +150,7 @@ class ChunkTransportReceiver:
                 events.completed_frames.append(chunk.x.ident)
         except ValueError:
             self.rejected_placements += 1
+            _OBS_REJECTED.inc()
 
         # (2)+(3) incremental verification via the end-to-end receiver.
         events.verdicts.extend(self.verifier.receive(chunk))

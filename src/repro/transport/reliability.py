@@ -23,12 +23,20 @@ from repro.core.chunk import Chunk
 from repro.core.packet import pack_chunks
 from repro.core.types import ChunkType
 from repro.netsim.events import EventLoop
+from repro.obs import counter, histogram, tracer
 from repro.transport.acks import build_ack_chunk, parse_ack_chunk
 from repro.transport.connection import ConnectionConfig
 from repro.transport.receiver import ChunkTransportReceiver, ReceiverEvents
 from repro.transport.sender import ChunkTransportSender
 
 __all__ = ["AdaptiveTpduPolicy", "ReliableSender", "ReliableReceiver"]
+
+_OBS_TIMEOUTS = counter("transport", "rto_timeouts", "retransmission timers fired")
+_OBS_GAVE_UP = counter("transport", "tpdus_gave_up", "TPDUs abandoned after max retries")
+_OBS_ACKS_RECEIVED = counter("transport", "acks_received", "TPDU ids acknowledged")
+_OBS_ACK_BATCHES = counter("transport", "ack_batches", "ACK packet flushes")
+_OBS_ACK_BATCH_SIZE = histogram("transport", "ack_batch_size", "TPDU ids per ACK flush")
+_OBS_TRACE = tracer("transport")
 
 
 @dataclass
@@ -136,6 +144,7 @@ class ReliableSender:
     def handle_ack_chunk(self, chunk: Chunk) -> None:
         """Process an arriving ACK chunk (possibly piggybacked)."""
         for t_id in parse_ack_chunk(chunk):
+            _OBS_ACKS_RECEIVED.inc()
             if t_id in self._outstanding:
                 state = self._outstanding.pop(t_id)
                 self.sender.acknowledge(t_id)
@@ -168,13 +177,21 @@ class ReliableSender:
         state = self._outstanding.get(t_id)
         if state is None or state.timer_generation != generation:
             return  # acked, or superseded by a newer timer
+        _OBS_TIMEOUTS.inc()
         state.retries += 1
         state.timer_generation += 1
         if state.retries > self.max_retries:
             del self._outstanding[t_id]
             self.gave_up.append(t_id)
+            _OBS_GAVE_UP.inc()
+            if _OBS_TRACE:
+                _OBS_TRACE.event("gave_up", t=self.loop.now, t_id=t_id)
             return
         self.retransmissions += 1
+        if _OBS_TRACE:
+            _OBS_TRACE.event(
+                "retransmit", t=self.loop.now, t_id=t_id, retry=state.retries
+            )
         if self.policy is not None:
             self._resize(self.policy.on_loss())
         # Same identifiers as the original transmission (Section 3.3).
@@ -217,6 +234,8 @@ class ReliableReceiver:
 
     def flush_acks(self, t_ids: list[int], reverse_chunks: list[Chunk] | None = None) -> None:
         connection = self.receiver.config.connection_id if self.receiver.config else 0
+        _OBS_ACK_BATCHES.inc()
+        _OBS_ACK_BATCH_SIZE.observe(len(t_ids))
         chunks = list(reverse_chunks or [])
         for start in range(0, len(t_ids), 64):
             chunks.append(build_ack_chunk(connection, t_ids[start : start + 64]))

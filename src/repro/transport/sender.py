@@ -17,10 +17,21 @@ from repro.core.builder import ChunkStreamBuilder
 from repro.core.chunk import Chunk
 from repro.core.compress import implicit_tpdu_ids
 from repro.core.errors import ChunkError
+from repro.obs import counter
 from repro.wsc.invariant import encode_tpdu
 from repro.transport.connection import ConnectionConfig, build_signaling_chunk
 
 __all__ = ["ChunkTransportSender"]
+
+_OBS_FRAMES_SENT = counter("transport", "sender.frames_sent", "external PDUs framed")
+_OBS_TPDUS_SENT = counter("transport", "sender.tpdus_sent", "TPDUs completed with an ED chunk")
+_OBS_CHUNKS_EMITTED = counter("transport", "sender.chunks_emitted", "chunks handed to the wire")
+_OBS_RETRANSMISSIONS = counter(
+    "transport", "retransmissions", "identifier-preserving TPDU retransmissions"
+)
+_OBS_RETRANSMITTED_CHUNKS = counter(
+    "transport", "sender.retransmitted_chunks", "chunks re-emitted unchanged"
+)
 
 
 @dataclass
@@ -112,6 +123,7 @@ class ChunkTransportSender:
             payload, frame_id=frame_id, end_of_connection=end_of_connection
         )
         self.frames_sent += 1
+        _OBS_FRAMES_SENT.inc()
         out: list[Chunk] = []
         for chunk in chunks:
             record = self._tpdus.get(chunk.t.ident)
@@ -126,7 +138,9 @@ class ChunkTransportSender:
                 _payload, ed_chunk = encode_tpdu(record.chunks)
                 record.ed_chunk = ed_chunk
                 self.tpdus_sent += 1
+                _OBS_TPDUS_SENT.inc()
                 out.append(ed_chunk)
+        _OBS_CHUNKS_EMITTED.inc(len(out))
         return out
 
     def close(self, final_payload: bytes | None = None, frame_id: int | None = None) -> list[Chunk]:
@@ -148,6 +162,8 @@ class ChunkTransportSender:
         out = list(record.chunks)
         if record.ed_chunk is not None:
             out.append(record.ed_chunk)
+        _OBS_RETRANSMISSIONS.inc()
+        _OBS_RETRANSMITTED_CHUNKS.inc(len(out))
         return out
 
     def acknowledge(self, t_id: int) -> None:

@@ -25,6 +25,7 @@ from repro.core.chunk import Chunk
 from repro.core.errors import ChunkError, VirtualReassemblyError
 from repro.core.types import ChunkType
 from repro.core.virtual import PduState
+from repro.obs import counter, tracer
 from repro.wsc.invariant import EdPayload, TpduInvariant, parse_ed_chunk
 
 __all__ = [
@@ -38,6 +39,15 @@ __all__ = [
 REASON_CODE_MISMATCH = "code-mismatch"
 REASON_REASSEMBLY = "reassembly-error"
 REASON_CONSISTENCY = "consistency-check"
+
+_OBS_VERIFIED = counter("wsc", "tpdu_verified", "TPDUs passing end-to-end verification")
+_OBS_CORRUPTED = counter("wsc", "tpdu_corrupted", "TPDUs failing end-to-end verification")
+# One failure counter per Table 1 reason code.
+_OBS_FAIL_BY_REASON = {
+    reason: counter("wsc", f"fail.{reason}", f"TPDU failures classified {reason}")
+    for reason in (REASON_CODE_MISMATCH, REASON_REASSEMBLY, REASON_CONSISTENCY)
+}
+_OBS_TRACE = tracer("wsc")
 
 
 @dataclass(frozen=True, slots=True)
@@ -260,5 +270,18 @@ class EndToEndReceiver:
     def _count(self, verdict: TpduVerdict) -> None:
         if verdict.ok:
             self.verified += 1
+            _OBS_VERIFIED.inc()
         else:
             self.corrupted += 1
+            _OBS_CORRUPTED.inc()
+            reason_counter = _OBS_FAIL_BY_REASON.get(verdict.reason or "")
+            if reason_counter is not None:
+                reason_counter.inc()
+        if _OBS_TRACE:
+            _OBS_TRACE.event(
+                "verdict",
+                c_id=verdict.c_id,
+                t_id=verdict.t_id,
+                ok=verdict.ok,
+                reason=verdict.reason,
+            )

@@ -30,6 +30,7 @@ from repro.core.chunk import Chunk
 from repro.core.errors import ChunkError, ErrorDetectionMismatch
 from repro.core.tuples import FramingTuple
 from repro.core.types import MAX_TPDU_SYMBOLS, ChunkType
+from repro.obs import counter
 from repro.wsc.wsc2 import Wsc2Accumulator, symbols_from_bytes
 
 __all__ = [
@@ -51,6 +52,14 @@ C_ST_POS = MAX_TPDU_SYMBOLS + 2      # 16386
 X_PAIR_BASE = MAX_TPDU_SYMBOLS + 3   # 16387
 
 _ED_PAYLOAD = struct.Struct(">III")
+
+_OBS_DECODE_OK = counter("wsc", "decode_ok", "whole-TPDU decodes that verified")
+_OBS_DECODE_FAIL_REASSEMBLY = counter(
+    "wsc", "decode_fail.reassembly-error", "whole-TPDU decodes failing reassembly"
+)
+_OBS_DECODE_FAIL_CODE = counter(
+    "wsc", "decode_fail.code-mismatch", "whole-TPDU decodes with parity mismatch"
+)
 
 
 @dataclass
@@ -230,12 +239,14 @@ def decode_tpdu(chunks: list[Chunk], ed: EdPayload) -> bytes:
         for index in range(chunk.length):
             t_sn = chunk.t.sn + index
             if t_sn in units:
+                _OBS_DECODE_FAIL_REASSEMBLY.inc()
                 raise ErrorDetectionMismatch(
                     "reassembly-error", f"unit {t_sn} delivered more than once"
                 )
             units[t_sn] = chunk.unit(index)
     missing = [t_sn for t_sn in range(ed.total_units) if t_sn not in units]
     if missing or len(units) != ed.total_units:
+        _OBS_DECODE_FAIL_REASSEMBLY.inc()
         raise ErrorDetectionMismatch(
             "reassembly-error",
             f"expected units 0..{ed.total_units - 1}, missing {missing[:8]}"
@@ -243,5 +254,7 @@ def decode_tpdu(chunks: list[Chunk], ed: EdPayload) -> bytes:
             else f"units beyond total_units={ed.total_units} present",
         )
     if not invariant.matches(ed.p0, ed.p1):
+        _OBS_DECODE_FAIL_CODE.inc()
         raise ErrorDetectionMismatch("code-mismatch", "WSC-2 parities disagree")
+    _OBS_DECODE_OK.inc()
     return b"".join(units[t_sn] for t_sn in range(ed.total_units))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -9,6 +10,22 @@ import pytest
 from repro.core.chunk import Chunk
 from repro.core.tuples import FramingTuple
 from repro.core.types import WORD_BYTES, ChunkType
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+
+    # "ci" is the pinned profile the property suites run under: fully
+    # derandomized (reproducible across machines and runs) with a
+    # bounded example count and no flaky wall-clock deadline.
+    _hypothesis_settings.register_profile(
+        "ci", derandomize=True, max_examples=40, deadline=None
+    )
+    _hypothesis_settings.register_profile(
+        "thorough", max_examples=400, deadline=None
+    )
+    _hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
 
 
 def make_payload(units: int, size: int = 1, seed: int = 1) -> bytes:

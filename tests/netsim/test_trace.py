@@ -3,6 +3,7 @@
 import pytest
 
 from repro.netsim.trace import ArrivalRecord, ReceiverTrace
+from repro.obs import session
 
 
 def _trace(indices, t0=0.0, dt=1.0):
@@ -42,6 +43,56 @@ class TestDisorderMetrics:
         assert trace.late_arrivals() == 0
         assert trace.disorder_fraction() == 0.0
         assert trace.max_displacement() == 0
+
+
+class TestPublish:
+    """publish() exposes the disorder metrics as netsim gauges."""
+
+    def _gauges(self, registry):
+        return {
+            name: registry.get("netsim", f"trace.{name}").value
+            for name in (
+                "arrivals",
+                "late_arrivals",
+                "max_displacement",
+                "disorder_fraction",
+            )
+        }
+
+    def test_empty_trace_publishes_zeros(self):
+        with session() as (registry, _):
+            values = ReceiverTrace().publish()
+            assert values == {
+                "arrivals": 0.0,
+                "late_arrivals": 0.0,
+                "max_displacement": 0.0,
+                "disorder_fraction": 0.0,
+            }
+            assert self._gauges(registry) == values
+
+    def test_all_in_order(self):
+        with session() as (registry, _):
+            values = _trace([0, 1, 2, 3]).publish()
+            assert values["arrivals"] == 4.0
+            assert values["late_arrivals"] == 0.0
+            assert values["max_displacement"] == 0.0
+            assert values["disorder_fraction"] == 0.0
+            assert self._gauges(registry) == values
+
+    def test_fully_reversed(self):
+        with session() as (registry, _):
+            values = _trace([4, 3, 2, 1, 0]).publish()
+            assert values["arrivals"] == 5.0
+            assert values["late_arrivals"] == 4.0
+            assert values["max_displacement"] == 4.0
+            assert values["disorder_fraction"] == pytest.approx(0.8)
+            assert self._gauges(registry) == values
+
+    def test_publish_without_registry_is_pure(self):
+        # No registry installed: publish still returns the values and
+        # must not raise (null-sink behavior).
+        values = _trace([1, 0]).publish()
+        assert values["late_arrivals"] == 1.0
 
 
 class TestLatency:

@@ -1,0 +1,131 @@
+"""Tests for the exporters and the ``python -m repro.obs report`` CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import (
+    metric_records,
+    render_histogram_buckets,
+    render_table,
+    trace_records,
+    write_jsonl,
+)
+from repro.obs.metrics import Registry
+from repro.obs.report import load_records, main, summarize
+from repro.obs.tracing import Tracer
+
+
+def _populated_registry() -> Registry:
+    registry = Registry()
+    registry.counter("transport", "retransmissions").inc(7)
+    registry.gauge("netsim", "queue").set(3)
+    registry.histogram("transport", "dist").observe(12)
+    return registry
+
+
+class TestExport:
+    def test_metric_records_sorted_and_self_describing(self):
+        records = metric_records(_populated_registry())
+        # Sorted by (scope, name): netsim/queue, transport/dist,
+        # transport/retransmissions.
+        assert [r["kind"] for r in records] == ["gauge", "histogram", "counter"]
+        assert records[2] == {
+            "kind": "counter",
+            "scope": "transport",
+            "name": "retransmissions",
+            "value": 7,
+        }
+
+    def test_trace_records_include_drop_meta(self):
+        tracer = Tracer(max_records=1)
+        tracer.event("a", "kept", t=1.0)
+        tracer.event("a", "dropped", t=2.0)
+        records = trace_records(tracer)
+        assert records[-1] == {"kind": "meta", "dropped_records": 1}
+
+    def test_write_jsonl_to_stream_is_deterministic(self):
+        buffer_a, buffer_b = io.StringIO(), io.StringIO()
+        write_jsonl(buffer_a, registry=_populated_registry())
+        write_jsonl(buffer_b, registry=_populated_registry())
+        assert buffer_a.getvalue() == buffer_b.getvalue()
+        for line in buffer_a.getvalue().splitlines():
+            json.loads(line)  # every line is standalone JSON
+
+    def test_write_jsonl_to_path_returns_line_count(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer()
+        tracer.event("x", "tick", t=0.5)
+        count = write_jsonl(path, registry=_populated_registry(), tracer=tracer)
+        assert count == 4
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_render_table_groups_by_scope(self):
+        text = render_table(_populated_registry())
+        assert text.index("== netsim ==") < text.index("== transport ==")
+        assert "retransmissions" in text
+        assert "count=1" in text
+
+    def test_render_histogram_buckets(self):
+        assert render_histogram_buckets({"-21": 2, "3": 1}) == "<=0:2 <=2^3:1"
+
+
+class TestReport:
+    def _write_trace(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer()
+        tracer.event("transport", "retransmit", t=0.25)
+        write_jsonl(path, registry=_populated_registry(), tracer=tracer)
+        return path
+
+    def test_load_records_roundtrip(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        records = load_records(path)
+        assert len(records) == 4
+        assert all("kind" in r for r in records)
+
+    def test_load_records_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ValueError):
+            load_records(path)
+
+    def test_load_records_rejects_kindless_records(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"no": "kind"}\n')
+        with pytest.raises(ValueError):
+            load_records(path)
+
+    def test_summarize_scope_filter(self, tmp_path):
+        records = load_records(self._write_trace(tmp_path))
+        text = summarize(records, scope="transport")
+        assert "retransmissions" in text
+        assert "netsim" not in text
+
+    def test_summarize_events_and_buckets(self, tmp_path):
+        records = load_records(self._write_trace(tmp_path))
+        text = summarize(records, show_events=True, show_buckets=True)
+        assert "transport.retransmit: 1" in text
+        assert "<=2^4:1" in text
+
+    def test_summarize_empty(self):
+        assert summarize([]) == "(no matching records)"
+
+    def test_cli_report(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== transport ==" in out
+        assert "retransmissions" in out
+
+    def test_cli_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_cli_bad_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{broken\n")
+        assert main(["report", str(path)]) == 2

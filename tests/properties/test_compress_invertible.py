@@ -1,0 +1,147 @@
+"""Property suite: Appendix A header compression is exactly invertible.
+
+"The chunk syntax transformations that we discuss in this section are
+invertible, because they allow recovery of the original chunk syntax."
+Every transform the library implements — varints, SIZE/C.ID elision,
+implicit T.ID (Figure 7), SN regeneration, and packet-scope ED-header
+elision — must round-trip builder-produced streams bit-exactly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.builder import ChunkStreamBuilder
+from repro.core.chunk import Chunk
+from repro.core.compress import (
+    CompressionProfile,
+    HeaderCompressor,
+    HeaderDecompressor,
+    decode_varint,
+    elide_ed_headers,
+    encode_varint,
+    implicit_tpdu_ids,
+    restore_ed_headers,
+)
+from repro.core.types import ChunkType
+from repro.wsc.invariant import encode_tpdu
+from tests.conftest import make_payload
+
+
+@given(st.integers(0, 2**63 - 1))
+def test_varint_roundtrip(value):
+    encoded = encode_varint(value)
+    decoded, consumed = decode_varint(encoded, 0)
+    assert decoded == value
+    assert consumed == len(encoded)
+
+
+@given(st.lists(st.integers(0, 2**32), min_size=1, max_size=8))
+def test_varint_stream_roundtrip(values):
+    blob = b"".join(encode_varint(v) for v in values)
+    offset = 0
+    decoded = []
+    while offset < len(blob):
+        value, offset = decode_varint(blob, offset)
+        decoded.append(value)
+    assert decoded == values
+
+
+@st.composite
+def stream_and_profile(draw) -> tuple[list[Chunk], CompressionProfile]:
+    connection_id = draw(st.integers(0, 1000))
+    tpdu_units = draw(st.integers(2, 10))
+    implicit = draw(st.booleans())
+    builder = ChunkStreamBuilder(
+        connection_id=connection_id,
+        tpdu_units=tpdu_units,
+        tpdu_ids=implicit_tpdu_ids(0, tpdu_units) if implicit else None,
+    )
+    chunks: list[Chunk] = []
+    frame_units = draw(st.lists(st.integers(1, 8), min_size=1, max_size=5))
+    for frame_id, units in enumerate(frame_units):
+        chunks += builder.add_frame(
+            make_payload(units, 1, seed=frame_id + 1), frame_id=frame_id
+        )
+    profile = CompressionProfile(
+        size_by_type={ChunkType.DATA: 1} if draw(st.booleans()) else {},
+        connection_id=connection_id if draw(st.booleans()) else None,
+        implicit_t_id=implicit,
+        regenerate_sns=draw(st.booleans()),
+    )
+    return chunks, profile
+
+
+@given(stream_and_profile())
+def test_header_compression_roundtrip(pair):
+    """Compact encoding under any profile decodes to the original chunks."""
+    chunks, profile = pair
+    compressor = HeaderCompressor(profile)
+    decompressor = HeaderDecompressor(profile)
+    blob = b"".join(compressor.encode(chunk) for chunk in chunks)
+    offset = 0
+    decoded = []
+    while offset < len(blob):
+        chunk, offset = decompressor.decode(blob, offset)
+        decoded.append(chunk)
+    assert decoded == chunks
+
+
+@given(stream_and_profile())
+def test_compression_never_grows_past_plain_encoding(pair):
+    """The compact form is at most the uncompressed wire size per chunk."""
+    chunks, profile = pair
+    compressor = HeaderCompressor(profile)
+    for chunk in chunks:
+        assert len(compressor.encode(chunk)) <= chunk.wire_bytes
+
+
+@st.composite
+def tpdu_streams_with_ed(draw) -> list[Chunk]:
+    """A DATA stream with each completed TPDU's ED chunk in wire position."""
+    tpdu_units = draw(st.integers(2, 8))
+    builder = ChunkStreamBuilder(
+        connection_id=draw(st.integers(0, 255)), tpdu_units=tpdu_units
+    )
+    data: list[Chunk] = []
+    frame_units = draw(st.lists(st.integers(1, 8), min_size=1, max_size=4))
+    for frame_id, units in enumerate(frame_units):
+        last = frame_id == len(frame_units) - 1
+        data += builder.add_frame(
+            make_payload(units, 1, seed=frame_id + 1),
+            frame_id=frame_id,
+            end_of_connection=last,
+        )
+    # Interleave ED chunks exactly where the transport sender does:
+    # directly after the DATA chunk that completes each TPDU.
+    by_tpdu: dict[int, list[Chunk]] = {}
+    wire: list[Chunk] = []
+    for chunk in data:
+        by_tpdu.setdefault(chunk.t.ident, []).append(chunk)
+        wire.append(chunk)
+        if chunk.t.st:
+            _, ed = encode_tpdu(by_tpdu[chunk.t.ident])
+            wire.append(ed)
+    return wire
+
+
+@given(tpdu_streams_with_ed())
+def test_ed_header_elision_roundtrip(wire):
+    elided = elide_ed_headers(wire)
+    assert restore_ed_headers(elided) == wire
+    # Every ED chunk in wire position is actually elided (they all
+    # follow their TPDU's final DATA chunk by construction).
+    n_ed = sum(1 for c in wire if c.type is ChunkType.ERROR_DETECTION)
+    n_elided = sum(1 for item in elided if isinstance(item, bytes))
+    assert n_elided == n_ed
+
+
+@given(tpdu_streams_with_ed())
+def test_ed_header_elision_saves_bytes(wire):
+    elided = elide_ed_headers(wire)
+    plain = sum(c.wire_bytes for c in wire)
+    compact = sum(
+        len(item) if isinstance(item, bytes) else item.wire_bytes for item in elided
+    )
+    assert compact <= plain

@@ -1,0 +1,109 @@
+"""Property suite: the WSC-2 TPDU invariant under re-fragmentation.
+
+Section 4's claim is that the error-detection code is computed on "an
+invariant of the TPDU under chunk fragmentation": however the network
+splits, coalesces, or reorders a TPDU's chunks, sender and receiver
+accumulate exactly the same (P0, P1) pair.  The suite also pins the
+algebraic property underneath — the accumulator is a homomorphism, so
+any partition of the symbol stream into runs, accumulated in any order
+across any number of accumulators and combined, equals the one-shot
+in-order encoding.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.builder import ChunkStreamBuilder
+from repro.core.chunk import Chunk
+from repro.core.fragment import split_to_unit_limit
+from repro.core.reassemble import coalesce
+from repro.wsc.invariant import encode_tpdu
+from repro.wsc.wsc2 import Wsc2Accumulator, wsc2_encode
+from tests.conftest import make_payload
+
+
+@st.composite
+def complete_tpdus(draw) -> list[Chunk]:
+    """The DATA chunks of exactly one complete TPDU (T.ST seen)."""
+    total_units = draw(st.integers(1, 24))
+    # Partition the TPDU's units into 1..4 external PDUs.
+    cuts = sorted(draw(st.sets(st.integers(1, max(1, total_units - 1)), max_size=3)))
+    bounds = [0, *cuts, total_units]
+    builder = ChunkStreamBuilder(
+        connection_id=draw(st.integers(0, 255)), tpdu_units=total_units
+    )
+    chunks: list[Chunk] = []
+    for frame_id, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+        if hi == lo:
+            continue
+        chunks += builder.add_frame(
+            make_payload(hi - lo, 1, seed=frame_id + 1), frame_id=frame_id
+        )
+    return [c for c in chunks if c.t.ident == 0]
+
+
+@given(complete_tpdus(), st.integers(1, 5), st.integers(0, 2**32))
+def test_encode_tpdu_invariant_under_fragmentation(tpdu, limit, shuffle_seed):
+    """Sender parities computed over fragments == over the originals."""
+    pieces = [p for chunk in tpdu for p in split_to_unit_limit(chunk, limit)]
+    random.Random(shuffle_seed).shuffle(pieces)
+    reference, _ = encode_tpdu(tpdu)
+    fragmented, _ = encode_tpdu(pieces)
+    assert fragmented == reference
+
+
+@given(complete_tpdus(), st.integers(1, 5), st.integers(0, 2**32))
+def test_encode_tpdu_invariant_under_coalescing(tpdu, limit, shuffle_seed):
+    """Fragment, shuffle, then in-network reassemble (Appendix D): the
+    receiver-side coalesced view still encodes identically."""
+    pieces = [p for chunk in tpdu for p in split_to_unit_limit(chunk, limit)]
+    random.Random(shuffle_seed).shuffle(pieces)
+    merged = [c for c in coalesce(pieces) if not c.is_control]
+    reference, _ = encode_tpdu(tpdu)
+    recombined, _ = encode_tpdu(merged)
+    assert recombined == reference
+
+
+@st.composite
+def symbol_partitions(draw):
+    symbols = draw(
+        st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=64)
+    )
+    n = len(symbols)
+    cuts = sorted(draw(st.sets(st.integers(1, max(1, n - 1)), max_size=7)))
+    bounds = [0, *(c for c in cuts if c < n), n]
+    runs = [
+        (lo, symbols[lo:hi]) for lo, hi in zip(bounds, bounds[1:]) if hi > lo
+    ]
+    return symbols, runs
+
+
+@given(symbol_partitions(), st.integers(0, 2**32), st.integers(1, 4))
+def test_accumulator_partition_shuffle_combine(partition, shuffle_seed, n_accs):
+    """Any run partition, distributed over any number of accumulators in
+    any order, combines to the one-shot in-order encoding."""
+    symbols, runs = partition
+    random.Random(shuffle_seed).shuffle(runs)
+    accumulators = [Wsc2Accumulator() for _ in range(n_accs)]
+    for index, (start, values) in enumerate(runs):
+        accumulators[index % n_accs].add_run(start, values)
+    combined = accumulators[0]
+    for other in accumulators[1:]:
+        combined.combine(other)
+    assert combined.value() == wsc2_encode(symbols)
+
+
+@given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=32),
+       st.integers(0, 2**20))
+def test_accumulator_position_shift(symbols, start):
+    """Symbol-at-a-time accumulation at any base equals add_run there."""
+    one_shot = Wsc2Accumulator()
+    one_shot.add_run(start, symbols)
+    stepwise = Wsc2Accumulator()
+    for offset, value in enumerate(symbols):
+        stepwise.add_symbol(start + offset, value)
+    assert stepwise.value() == one_shot.value()
