@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
 from repro.core.builder import ChunkStreamBuilder
@@ -31,24 +32,36 @@ __all__ = [
     "make_chunk",
     "build_stream",
     "build_tpdu_with_ed",
+    "BenchEntry",
+    "BENCH_REGISTRY",
+    "register_bench",
+    "scaled",
 ]
 
 
-def print_table(title: str, rows: Sequence[Sequence[object]]) -> None:
-    """Render rows (first row = header) as an aligned text table."""
+def print_table(title: str, rows: Sequence[Sequence[object]]) -> str:
+    """Render rows (first row = header) as an aligned text table.
+
+    Prints the table and returns the rendered string so callers (the
+    perf runner in particular) can capture it into artifacts.
+    """
+    lines = [f"\n== {title} =="]
     text = [
         [f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row]
         for row in rows
     ]
-    widths = [max(len(r[i]) for r in text) for i in range(len(text[0]))]
-    print(f"\n== {title} ==")
-    for index, row in enumerate(text):
-        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
-        if index == 0:
-            print("  ".join("-" * width for width in widths))
+    if text:
+        widths = [max(len(r[i]) for r in text) for i in range(len(text[0]))]
+        for index, row in enumerate(text):
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+    rendered = "\n".join(lines)
+    print(rendered)
     tracer = active_tracer()
     if tracer is not None:
-        tracer.event("bench", "table", fields={"title": title, "rows": len(rows) - 1})
+        tracer.event("bench", "table", fields={"title": title, "rows": max(len(rows) - 1, 0)})
+    return rendered
 
 
 @contextmanager
@@ -72,8 +85,16 @@ def observed(
 
 
 def make_bytes(n: int, seed: int = 0) -> bytes:
-    rng = random.Random(seed)
-    return bytes(rng.randrange(256) for _ in range(n))
+    """*n* pseudo-random payload bytes from a seeded generator.
+
+    Implemented with :meth:`random.Random.randbytes` (one C call)
+    instead of the earlier per-byte ``randrange(256)`` loop.  The
+    sequences differ for the same seed — randbytes draws 32-bit words —
+    so goldens derived from the old generator were regenerated when
+    this changed; only shapes, never exact payload bytes, are asserted
+    by the bench suite.
+    """
+    return random.Random(seed).randbytes(n)
 
 
 def make_chunk(units: int, t_st: bool = False, seed: int = 1) -> Chunk:
@@ -123,3 +144,46 @@ def build_tpdu_with_ed(tpdu_units: int = 48, seed: int = 0):
     tpdu0 = [c for c in chunks if c.t.ident == 0]
     _, ed = encode_tpdu(tpdu0)
     return tpdu0, ed
+
+
+# ----------------------------------------------------------------------
+# The perf-runner registry (python -m repro.perf run)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One registered perf entry point.
+
+    ``fn(payload_scale)`` executes the module's representative workload
+    with pinned seeds and returns a flat dict of deterministic key
+    figures; the perf runner times the call, snapshots the obs registry
+    around it, and persists both into ``BENCH_<n>.json``.
+    """
+
+    name: str
+    module: str
+    fn: Callable[[float], dict]
+
+
+#: Every ``@register_bench``-decorated ``run()`` seen so far, keyed by
+#: bench name (the module name minus its ``bench_`` prefix).
+BENCH_REGISTRY: dict[str, BenchEntry] = {}
+
+
+def register_bench(fn: Callable[[float], dict]) -> Callable[[float], dict]:
+    """Register a bench module's ``run(payload_scale)`` entry point.
+
+    Figures returned by ``fn`` must be deterministic for a given
+    ``payload_scale`` — the perf comparator treats any drift in them as
+    a regression, exactly like the obs counters.
+    """
+    module = fn.__module__
+    name = module.removeprefix("bench_")
+    BENCH_REGISTRY[name] = BenchEntry(name=name, module=module, fn=fn)
+    return fn
+
+
+def scaled(base: int, payload_scale: float, minimum: int = 1) -> int:
+    """Scale an integer workload knob by ``payload_scale`` (floor at
+    *minimum* so tiny scales still exercise the code path)."""
+    return max(minimum, int(base * payload_scale))

@@ -16,7 +16,7 @@ quantify each so downstream users know what they cost:
 
 from __future__ import annotations
 
-from _common import make_bytes, make_chunk, print_table
+from _common import make_bytes, make_chunk, print_table, register_bench, scaled
 from repro.core.fragment import fragment_for_mtu
 from repro.core.packet import pack_chunks
 from repro.core.types import PACKET_HEADER_BYTES
@@ -127,6 +127,27 @@ def test_fragmentation_never_splits_units():
 def test_batch_window_benchmark(benchmark):
     result = benchmark(run_batch_window, 0.001)
     assert result["big_net_packets"] > 0
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: the three ablations' key figures."""
+    figures: dict[str, object] = {}
+    for window in (0.0, 0.005):
+        result = run_batch_window(window)
+        key = f"window_{window * 1000:g}ms"
+        figures[f"{key}.big_net_packets"] = result["big_net_packets"]
+        figures[f"{key}.completion_ms"] = result["completion_ms"]
+    object_units = scaled(8192, payload_scale, minimum=256)
+    for units in (64, 4096):
+        figures[f"ed_overhead_pct.tpdu_{units}"] = ed_overhead_for_tpdu_units(
+            units, object_units=object_units
+        )
+    for size in (1, 16):
+        overhead, count = mtu_waste_for_size(size)
+        figures[f"mtu_waste_pct.size_{size}"] = overhead
+        figures[f"fragments.size_{size}"] = count
+    return figures
 
 
 def main():

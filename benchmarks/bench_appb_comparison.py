@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 
-from _common import make_bytes, print_table
+from _common import make_bytes, print_table, register_bench, scaled
 from repro.baselines.aal import Aal5Reassembler, aal5_segment
 from repro.baselines.framing_info import FIELDS, PROTOCOLS, Presence, matrix_rows
 from repro.baselines.ipfrag import fragment_datagram
@@ -159,6 +159,24 @@ def test_chunk_pipeline_throughput(benchmark):
     random.Random(5).shuffle(pieces)
     merged = benchmark(coalesce, pieces)
     assert len(merged) == 1
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: demux cost, parse cost, and the matrix facts."""
+    frames = scaled(40, payload_scale, minimum=4)
+    count = scaled(2000, payload_scale, minimum=100)
+    straight, detour = ip_receive_path(0.5, count=count)
+    uniform, zero = chunk_receive_path(count=count)
+    return {
+        "explicit_fields.chunks": max(p.explicit_count() for p in PROTOCOLS),
+        "ip.straight": straight,
+        "ip.detour": detour,
+        "chunks.uniform": uniform,
+        "chunks.detour": zero,
+        "parse_cost.flags": flag_parse_cost(frames=frames),
+        "parse_cost.headers": chunk_parse_cost(frames=frames),
+    }
 
 
 def main():

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 
-from _common import print_table
+from _common import print_table, register_bench, scaled
 from repro.core.packet import Packet
 from repro.core.types import ChunkType
 from repro.netsim.events import EventLoop
@@ -38,7 +38,9 @@ SMALL_UNITS = 256   # 1 KiB TPDUs: one packet each
 FRAME_INTERVAL = 0.02
 
 
-def run_transfer(loss: float, tpdu_units: int, adaptive: bool, seed: int = 7):
+def run_transfer(
+    loss: float, tpdu_units: int, adaptive: bool, seed: int = 7, frames: int = FRAMES
+):
     loop = EventLoop()
     box = {}
     fwd = Link(
@@ -74,7 +76,7 @@ def run_transfer(loss: float, tpdu_units: int, adaptive: bool, seed: int = 7):
     payload = b""
     # Pace the application so loss feedback can steer the TPDU size of
     # later frames (an un-paced burst would be framed before any ACK).
-    for index in range(FRAMES):
+    for index in range(frames):
         data = bytes(rng.randrange(256) for _ in range(FRAME_BYTES))
         payload += data
         loop.at(
@@ -138,6 +140,25 @@ def test_adaptive_tracks_both_regimes():
 def test_reliable_transfer_throughput(benchmark):
     result = benchmark(run_transfer, 0.1, BIG_UNITS, True)
     assert result["efficiency"] > 0
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: both ends of the loss sweep, all three policies."""
+    frames = scaled(FRAMES, payload_scale, minimum=16)
+    figures: dict[str, object] = {}
+    for loss in (0.0, 0.30):
+        key = f"loss_{loss:g}"
+        for label, units, adaptive in (
+            ("big", BIG_UNITS, False),
+            ("small", SMALL_UNITS, False),
+            ("adaptive", BIG_UNITS, True),
+        ):
+            result = run_transfer(loss, units, adaptive, frames=frames)
+            figures[f"{key}.{label}.efficiency"] = result["efficiency"]
+            figures[f"{key}.{label}.retransmissions"] = result["retransmissions"]
+        figures[f"{key}.adaptive.final_units"] = result["final_units"]
+    return figures
 
 
 def main():

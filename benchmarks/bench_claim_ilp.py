@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from _common import print_table
+from _common import print_table, register_bench, scaled
 from repro.host.ilp import (
     byteswap_function,
     checksum_function,
@@ -59,6 +59,20 @@ def test_layered_wall_time(benchmark):
 def test_integrated_wall_time(benchmark):
     result = benchmark(run_integrated, WORDS, STACK)
     assert result.words
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: layered-vs-integrated touches per stack depth."""
+    words = WORDS[: scaled(len(WORDS), payload_scale, minimum=512)]
+    figures: dict[str, object] = {"words": len(words)}
+    for depth in (1, 3):
+        stack = (STACK + [xor_decrypt_function(0x9999)])[:depth]
+        layered = run_layered(words, stack).touches_per_byte()
+        integrated = run_integrated(words, stack).touches_per_byte()
+        figures[f"depth_{depth}.layered_touches"] = layered
+        figures[f"depth_{depth}.integrated_touches"] = integrated
+    return figures
 
 
 def main():

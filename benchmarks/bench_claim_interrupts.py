@@ -16,7 +16,7 @@ multipath striping so TPDU completions interleave.
 
 from __future__ import annotations
 
-from _common import make_bytes, print_table
+from _common import make_bytes, print_table, register_bench
 from repro.core.builder import ChunkStreamBuilder
 from repro.core.packet import Packet, pack_chunks
 from repro.host.interrupts import PerPacketNic, PerPduNic
@@ -81,6 +81,18 @@ def test_per_pdu_nic_throughput(benchmark):
 
     nic = benchmark(run)
     assert nic.interrupts == TPDUS
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: interrupt counts at two MTUs."""
+    figures: dict[str, object] = {}
+    for mtu in (1500, 576):
+        result = compare(mtu)
+        figures[f"mtu_{mtu}.packets"] = result["packets"]
+        figures[f"mtu_{mtu}.pdu_interrupts"] = result["pdu_interrupts"]
+        figures[f"mtu_{mtu}.reduction"] = result["reduction"]
+    return figures
 
 
 def main():

@@ -14,7 +14,7 @@ and assert the ordering.
 
 from __future__ import annotations
 
-from _common import build_stream, print_table
+from _common import build_stream, print_table, register_bench, scaled
 from repro.core.packet import Packet, pack_chunks
 from repro.host.receiver import (
     ImmediateReceiver,
@@ -92,6 +92,20 @@ def test_reassemble_strategy_throughput(benchmark):
     arrivals = timed_arrivals(0.0004)
     receiver = benchmark(run_strategy, ReassembleReceiver, arrivals)
     assert receiver.payload_bytes > 0
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: host-added latency per strategy and skew."""
+    total_units = scaled(2048, payload_scale, minimum=256)
+    figures: dict[str, object] = {}
+    for skew in (0.0, 0.0008):
+        arrivals = timed_arrivals(skew, total_units=total_units)
+        key = f"skew_{skew * 1e6:g}us"
+        for name, cls in STRATEGIES:
+            receiver = run_strategy(cls, arrivals)
+            figures[f"{key}.{name}_latency_us"] = receiver.mean_added_latency() * 1e6
+    return figures
 
 
 def main():

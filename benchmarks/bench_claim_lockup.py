@@ -16,7 +16,7 @@ budget; count lock-up events and rejected fragments.
 
 from __future__ import annotations
 
-from _common import make_bytes, print_table
+from _common import make_bytes, print_table, register_bench
 from repro.baselines.ipfrag import IpReassembler, fragment_datagram
 from repro.core.builder import ChunkStreamBuilder
 from repro.core.fragment import split_to_unit_limit
@@ -132,6 +132,24 @@ def test_ip_reassembler_throughput(benchmark):
 
     completed = benchmark(run)
     assert completed == PDUS
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: bounded-IP lock-up vs chunk immunity."""
+    tight = ip_lockup_at(capacity=4 * PDU_BYTES)
+    ample = ip_lockup_at(capacity=PDUS * PDU_BYTES)
+    chunks = chunk_run()
+    return {
+        "ip_tight.completed": tight["completed"],
+        "ip_tight.lockups": tight["lockups"],
+        "ip_tight.rejected": tight["rejected"],
+        "ip_ample.completed": ample["completed"],
+        "ip_ample.lockups": ample["lockups"],
+        "chunks.verified": chunks["verified"],
+        "chunks.corrupted": chunks["corrupted"],
+        "chunks.payload_buffered": chunks["payload_buffered"],
+    }
 
 
 def main():

@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 import time
 
-from _common import make_chunk, print_table
+from _common import make_chunk, print_table, register_bench
 from repro.baselines.ipfrag import IpReassembler, fragment_datagram, refragment
 from repro.core.fragment import split_to_unit_limit
 from repro.core.reassemble import coalesce
@@ -112,6 +112,21 @@ def test_coalesce_throughput(benchmark):
     _, pieces = chunk_pieces_after(5)
     merged = benchmark(coalesce, pieces)
     assert len(merged) == 1
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: reassembly work vs fragmentation depth."""
+    figures: dict[str, object] = {}
+    for stages in (1, 5):
+        pieces, merges = chunk_receiver_work(stages)
+        figures[f"stages_{stages}.chunk_pieces"] = pieces
+        figures[f"stages_{stages}.chunk_merges"] = merges
+        figures[f"stages_{stages}.chunk_passes"] = 1
+    passes, buffered = staged_ip_work(3)
+    figures["staged_ip.passes"] = passes
+    figures["staged_ip.bytes_buffered"] = buffered
+    return figures
 
 
 def main():

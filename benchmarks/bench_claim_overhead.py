@@ -15,7 +15,7 @@ IP < compressed chunks < plain chunks < XTP on small MTUs.
 
 from __future__ import annotations
 
-from _common import make_bytes, print_table
+from _common import make_bytes, print_table, register_bench
 from repro.baselines.ipfrag import IP_HEADER_BYTES, fragment_datagram
 from repro.baselines.xtp import packetize
 from repro.core.builder import ChunkStreamBuilder
@@ -131,6 +131,21 @@ def test_chunk_packing_throughput(benchmark):
     _, chunks = chunk_traffic()
     packets = benchmark(pack_chunks, chunks, 576)
     assert packets
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: overhead % per system at the sweep's ends."""
+    figures: dict[str, object] = {}
+    for mtu in (1500, 296):
+        for name, fn in SYSTEMS:
+            slug = name.split(" ")[0].strip("()").lower()
+            if "compressed" in name:
+                slug = "chunks_compressed"
+            elif "fixed" in name:
+                slug = "chunks_fixed"
+            figures[f"mtu_{mtu}.{slug}_overhead_pct"] = overhead_pct(fn(mtu))
+    return figures
 
 
 def main():

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from _common import make_bytes, print_table
+from _common import make_bytes, print_table, register_bench
 from repro.baselines.pathmtu import PathMtuProber, PmtuSender
 from repro.core.packet import pack_chunks
 from repro.netsim.events import EventLoop
@@ -131,6 +131,22 @@ def test_chunk_path_survives_mtu_drop_mid_transfer():
 def test_pmtu_transfer_benchmark(benchmark):
     result = benchmark(run_pmtu, None)
     assert result["completion"] > 0
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: route-change costs, PMTU vs chunk fragmentation."""
+    pmtu = run_pmtu(change_at=2.0)
+    chunks = run_chunks(change_at=2.0)
+    return {
+        "pmtu.discovery_s": pmtu["discovery"],
+        "pmtu.stall_s": pmtu["stall"],
+        "pmtu.blackholed": pmtu["blackholed"],
+        "pmtu.reprobes": pmtu["reprobes"],
+        "chunks.stall_s": chunks["stall"],
+        "chunks.blackholed": chunks["blackholed"],
+        "chunks.completion_s": chunks["completion"],
+    }
 
 
 def main():

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from _common import print_table
+from _common import print_table, register_bench
 from bench_claim_latency import STRATEGIES, run_strategy, timed_arrivals
 from repro.host.memory import BusModel
 
@@ -75,6 +75,23 @@ def test_touch_accounting_throughput(benchmark):
 
     touches = benchmark(run)
     assert len(touches) == 3
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: touches/byte and bus-bound throughput.
+
+    These figures back the perf budget asserting the paper's headline:
+    immediate processing touches each payload byte once, reassembly
+    twice, with reorder in between.
+    """
+    figures: dict[str, object] = {}
+    for entry in measure(skews=(0.0, 0.0008)):
+        key = f"skew_{entry['skew_us']:g}us"
+        for name, _ in STRATEGIES:
+            figures[f"{key}.{name}_touches"] = entry[name]
+            figures[f"{key}.{name}_tput_mbps"] = entry[name + "_tput"]
+    return figures
 
 
 def main():

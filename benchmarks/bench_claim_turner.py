@@ -15,7 +15,7 @@ that can no longer complete) and (b) complete TPDUs delivered.
 
 from __future__ import annotations
 
-from _common import make_bytes, print_table
+from _common import make_bytes, print_table, register_bench
 from repro.core.builder import ChunkStreamBuilder
 from repro.core.errors import CodecError
 from repro.core.fragment import split_to_unit_limit
@@ -132,6 +132,18 @@ def test_queue_throughput(benchmark):
 
     delivered = benchmark(go)
     assert len(delivered) == len(frames)
+
+
+@register_bench
+def run_bench(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: both policies at 1.4x overload."""
+    figures: dict[str, object] = {}
+    for policy in ("random", "turner"):
+        result = run(policy, 1.4)
+        figures[f"{policy}.complete"] = result["complete"]
+        figures[f"{policy}.useless_bytes"] = result["useless_bytes"]
+        figures[f"{policy}.saved_bytes"] = result["saved_bytes"]
+    return figures
 
 
 def main():

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 
-from _common import make_bytes, print_table
+from _common import make_bytes, print_table, register_bench, scaled
 from repro.wsc.crc import Crc32, crc32
 from repro.wsc.gf32 import Gf32Mul, alpha_pow, gf_mul
 from repro.wsc.inet import InetChecksum, inet_checksum
@@ -170,6 +170,38 @@ def test_gf_mul_table(benchmark):
         return acc
 
     assert benchmark(run) is not None
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: order-independence matrix + transposition power."""
+    wsc_ok, inet_ok, crc_ok = order_independence()
+    rng = random.Random(5)
+    symbols = symbols_from_bytes(DATA)
+    ref_wsc = wsc2_encode(symbols)
+    ref_inet = inet_checksum(DATA)
+    wsc_misses = inet_misses = trials = 0
+    for _ in range(scaled(200, payload_scale, minimum=20)):
+        corrupted = bytearray(DATA)
+        i, j = rng.sample(range(len(symbols)), 2)
+        a, b = i * 4, j * 4
+        corrupted[a : a + 4], corrupted[b : b + 4] = (
+            corrupted[b : b + 4], corrupted[a : a + 4],
+        )
+        blob = bytes(corrupted)
+        if blob == DATA:
+            continue
+        trials += 1
+        wsc_misses += wsc2_encode(symbols_from_bytes(blob)) == ref_wsc
+        inet_misses += inet_checksum(blob) == ref_inet
+    return {
+        "order_independent.wsc2": int(wsc_ok),
+        "order_independent.inet": int(inet_ok),
+        "order_independent.crc": int(crc_ok),
+        "transposition.trials": trials,
+        "transposition.wsc2_misses": wsc_misses,
+        "transposition.inet_misses": inet_misses,
+    }
 
 
 def main():

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 
-from _common import make_bytes, print_table
+from _common import make_bytes, print_table, register_bench
 from repro.core.builder import ChunkStreamBuilder
 from repro.core.fragment import split_to_unit_limit
 from repro.wsc.erasure import ErasureError, recover_erasures, repair_missing_word
@@ -116,6 +116,19 @@ def test_repair_primitive_throughput(benchmark):
 
     solved = benchmark(run)
     assert solved[500] == symbols[500]
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: in-place repair fractions across the loss sweep."""
+    figures: dict[str, object] = {}
+    for row in sweep(loss_rates=(0.01, 0.08)):
+        key = f"loss_{row['loss']:g}"
+        figures[f"{key}.intact"] = row["intact"]
+        figures[f"{key}.damaged"] = row["damaged"]
+        figures[f"{key}.repaired"] = row["repaired"]
+        figures[f"{key}.repair_fraction"] = row["repair_fraction"]
+    return figures
 
 
 def main():

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from _common import build_stream, make_bytes, print_table
+from _common import build_stream, make_bytes, print_table, register_bench, scaled
 from repro.core.builder import ChunkStreamBuilder
 
 
@@ -62,6 +62,21 @@ def test_framer_throughput(benchmark):
 
     chunks = benchmark(run)
     assert sum(c.length for c in chunks) == 4096
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: figure stream shape + a scaled framer pass."""
+    chunks = figure1_stream()
+    rows = membership_table(chunks)
+    total_units = scaled(4096, payload_scale, minimum=512)
+    stream = build_stream(total_units=total_units, tpdu_units=64, frame_units=24)
+    return {
+        "figure.chunks": len(chunks),
+        "figure.units": len(rows),
+        "framer.units": sum(c.length for c in stream),
+        "framer.chunks": len(stream),
+    }
 
 
 def main():

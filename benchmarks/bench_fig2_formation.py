@@ -12,7 +12,7 @@ benchmark header-formation throughput (the per-chunk cost the paper's
 
 from __future__ import annotations
 
-from _common import print_table
+from _common import print_table, register_bench, scaled
 from repro.core.builder import LabeledUnit, chunks_from_labels
 from repro.core.tuples import FramingTuple
 
@@ -76,6 +76,35 @@ def test_formation_throughput(benchmark):
         )
     chunks = benchmark(chunks_from_labels, relabelled)
     assert sum(c.length for c in chunks) == len(relabelled)
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: the worked example's header + a formation pass."""
+    chunks = chunks_from_labels(figure2_units())
+    middle = chunks[1]
+    repeats = scaled(500, payload_scale, minimum=50)
+    units = figure2_units() * repeats
+    relabelled = []
+    for index, unit in enumerate(units):
+        relabelled.append(
+            LabeledUnit(
+                data=unit.data,
+                c=FramingTuple(1, index, False),
+                t=FramingTuple(index // 64, index % 64, (index % 64) == 63),
+                x=FramingTuple(index // 24, index % 24, (index % 24) == 23),
+            )
+        )
+    formed = chunks_from_labels(relabelled)
+    return {
+        "figure.chunks": len(chunks),
+        "figure.middle_len": middle.length,
+        "figure.middle_c_sn": middle.c.sn,
+        "figure.middle_t_sn": middle.t.sn,
+        "figure.middle_x_sn": middle.x.sn,
+        "formation.units": len(relabelled),
+        "formation.chunks": len(formed),
+    }
 
 
 def main():

@@ -11,7 +11,7 @@ mapping, and benchmark split/pack/unpack throughput.
 
 from __future__ import annotations
 
-from _common import build_stream, print_table
+from _common import build_stream, print_table, register_bench, scaled
 from repro.core.chunk import Chunk
 from repro.core.fragment import split
 from repro.core.packet import Packet, pack_chunks
@@ -90,6 +90,24 @@ def test_pack_unpack_throughput(benchmark):
 
     packets = benchmark(run)
     assert sum(len(p.chunks) for p in packets) >= len(chunks)
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: split values + a scaled pack/unpack pass."""
+    a, b = split(figure3_chunk(), 4)
+    chunks = build_stream(total_units=scaled(4096, payload_scale, minimum=512))
+    packets = pack_chunks(chunks, mtu=576)
+    decoded = [Packet.decode(p.encode()) for p in packets]
+    return {
+        "split.a_len": a.length,
+        "split.a_c_sn": a.c.sn,
+        "split.b_len": b.length,
+        "split.b_c_sn": b.c.sn,
+        "pack.packets": len(packets),
+        "pack.wire_bytes": sum(p.wire_bytes for p in packets),
+        "pack.chunks_decoded": sum(len(p.chunks) for p in decoded),
+    }
 
 
 def main():

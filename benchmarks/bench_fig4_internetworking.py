@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from _common import build_stream, make_bytes, print_table
+from _common import build_stream, make_bytes, print_table, register_bench
 from repro.core.packet import (
     Packet,
     pack_chunks,
@@ -93,6 +93,19 @@ def test_method2_throughput(benchmark, small_packets):
 def test_method3_throughput(benchmark, small_packets):
     out = benchmark(repack_with_reassembly, small_packets, 4096)
     assert out
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: all three Figure-4 modes over the router path."""
+    figures: dict[str, object] = {}
+    for mode in MODES:
+        result = run_mode(mode)
+        slug = mode.replace("-", "_")
+        figures[f"{slug}.big_net_packets"] = result["big_net_packets"]
+        figures[f"{slug}.big_net_bytes"] = result["big_net_bytes"]
+        figures[f"{slug}.overhead_pct"] = result["overhead_pct"]
+    return figures
 
 
 def main():

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 
-from _common import build_tpdu_with_ed, print_table
+from _common import build_tpdu_with_ed, print_table, register_bench, scaled
 from repro.core.fragment import split_to_unit_limit
 from repro.core.packet import pack_chunks
 from repro.wsc.crc import crc32
@@ -77,6 +77,22 @@ def test_incremental_verification_throughput(benchmark):
 
     verdicts = benchmark(run)
     assert len(verdicts) == 1 and verdicts[0].ok
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: invariance under random fragmentation schedules.
+
+    ``stable == trials`` is a perf budget: shuffled and in-order
+    arrival must produce the identical WSC-2 value on every schedule.
+    """
+    trials = scaled(TRIALS, payload_scale, minimum=20)
+    stable, crc_stable = measure_invariance(trials=trials)
+    return {
+        "trials": trials,
+        "wsc2_stable": stable,
+        "crc_stable": crc_stable,
+    }
 
 
 def main():

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 
-from _common import make_bytes, print_table
+from _common import make_bytes, print_table, register_bench, scaled
 from repro.core.builder import ChunkStreamBuilder
 from repro.core.fragment import split_to_unit_limit
 from repro.wsc.invariant import X_PAIR_BASE
@@ -82,6 +82,29 @@ def test_trigger_scan_throughput(benchmark):
     pieces = [p for c in chunks for p in split_to_unit_limit(c, 1)]
     events = benchmark(trigger_events, pieces)
     assert len(events) == 3
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: trigger table + invariance over random schedules."""
+    chunks = figure6_tpdu()
+    figures: dict[str, object] = {}
+    for x_id, trigger, position in trigger_events(chunks):
+        figures[f"xid_{x_id:x}.trigger"] = trigger
+        figures[f"xid_{x_id:x}.position"] = position
+    schedules = scaled(50, payload_scale, minimum=10)
+    stable = 0
+    rng = random.Random(9)
+    for _ in range(schedules):
+        limit = rng.randrange(1, 6)
+        pieces = [p for c in chunks for p in split_to_unit_limit(c, limit)]
+        rng.shuffle(pieces)
+        events = trigger_events(pieces)
+        if sorted(x for x, _, _ in events) == [0xA, 0xB, 0xC]:
+            stable += 1
+    figures["schedules"] = schedules
+    figures["schedules_stable"] = stable
+    return figures
 
 
 def main():

@@ -12,7 +12,7 @@ for), plus codec throughput for fixed vs compact headers.
 
 from __future__ import annotations
 
-from _common import make_bytes, print_table
+from _common import make_bytes, print_table, register_bench, scaled
 from repro.core.builder import ChunkStreamBuilder
 from repro.core.codec import encode_chunk
 from repro.core.compress import (
@@ -133,6 +133,28 @@ def test_compact_codec_throughput(benchmark):
 
     total = benchmark(run)
     assert total > 0
+
+
+PROFILE_SLUGS = (
+    "fixed",
+    "varint",
+    "size_signal",
+    "cid_signal",
+    "implicit_tid",
+    "sn_regen",
+)
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: header bytes for each Appendix-A transform stack."""
+    frames = scaled(16, payload_scale, minimum=4)
+    chunks = stream_with_implicit_ids(frames=frames)
+    figures: dict[str, object] = {"frames": frames}
+    for slug, (_name, profile) in zip(PROFILE_SLUGS, PROFILES):
+        figures[f"{slug}.header_bytes"] = header_bytes(chunks, profile)
+    figures["huffman.header_bytes"] = header_bytes_huffman(chunks, PROFILES[-2][1])
+    return figures
 
 
 def main():

@@ -11,11 +11,40 @@ from __future__ import annotations
 
 import random
 
-from _common import build_stream, make_bytes
+from _common import build_stream, make_bytes, register_bench, scaled
 from repro.core.fragment import split_to_unit_limit
 from repro.core.huffman import DEFAULT_HEADER_CODE
 from repro.core.intervals import IntervalSet
 from repro.core.virtual import VirtualReassembler
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: the hot-path structures exercised directly."""
+    span = scaled(20_000, payload_scale, minimum=2_000)
+    intervals = IntervalSet()
+    for start in range(0, span, 10):
+        intervals.add(start, start + 10)
+
+    total_units = scaled(4096, payload_scale, minimum=512)
+    chunks = build_stream(total_units=total_units, tpdu_units=256, frame_units=96)
+    pieces = [p for c in chunks for p in split_to_unit_limit(c, 8)]
+    random.Random(5).shuffle(pieces)
+    tracker = VirtualReassembler(level="t")
+    for piece in pieces:
+        tracker.record(piece)
+
+    data = make_bytes(scaled(4096, payload_scale, minimum=512), seed=7)
+    packed, bits = DEFAULT_HEADER_CODE.encode(data)
+    decoded = DEFAULT_HEADER_CODE.decode(packed, bits)
+    return {
+        "intervals.covered": intervals.covered(),
+        "reassembly.pieces": len(pieces),
+        "reassembly.completed": len(tracker.completed_pdus()),
+        "huffman.input_bytes": len(data),
+        "huffman.encoded_bits": bits,
+        "huffman.roundtrip_ok": int(decoded == data),
+    }
 
 
 def test_interval_set_sequential_adds(benchmark):

@@ -100,7 +100,12 @@ implementation's own knobs.  Regenerate the whole file with
     python benchmarks/generate_experiments.py
 
 or any single table with ``python benchmarks/bench_<id>.py``; timing
-numbers come from ``pytest benchmarks/ --benchmark-only``.
+numbers come from ``pytest benchmarks/ --benchmark-only``.  For the
+machine-gated form of these numbers, ``python -m repro.perf run``
+executes every bench's registered ``run(payload_scale)`` entry point
+into a ``BENCH_<n>.json`` telemetry artifact (wall-clock, obs counter
+snapshot, paper budgets) that CI compares exactly against the
+committed baseline — see ``docs/benchmarking.md``.
 
 All numbers below come from the simulated substrate (see DESIGN.md for
 the substitutions); shapes, not absolute values, are the reproduction

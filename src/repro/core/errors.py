@@ -21,6 +21,7 @@ __all__ = [
     "ErasureError",
     "NotNestedError",
     "AnalysisError",
+    "PerfError",
 ]
 
 
@@ -84,3 +85,8 @@ class NotNestedError(ReproError):
 
 class AnalysisError(ReproError):
     """The static analyzer could not run (bad input, baseline, config)."""
+
+
+class PerfError(ReproError):
+    """The benchmark-telemetry subsystem could not run or load an artifact
+    (bad schema, incompatible artifacts, missing bench registry)."""

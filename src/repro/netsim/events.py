@@ -11,7 +11,14 @@ import heapq
 import itertools
 from typing import Callable
 
+from repro.obs import counter
+
 __all__ = ["EventLoop"]
+
+_OBS_EVENTS = counter("netsim", "loop.events_processed", "event-loop callbacks run")
+_OBS_SIM_TIME = counter(
+    "netsim", "loop.sim_time_total", "simulated seconds advanced across run() calls"
+)
 
 
 class EventLoop:
@@ -40,16 +47,22 @@ class EventLoop:
 
         Returns the simulated time after the last processed event.
         """
-        while self._queue:
-            time, _seq, callback = self._queue[0]
-            if until is not None and time > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._queue)
-            self.now = time
-            self._processed += 1
-            callback()
-        return self.now
+        started = self.now
+        try:
+            while self._queue:
+                time, _seq, callback = self._queue[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(self._queue)
+                self.now = time
+                self._processed += 1
+                _OBS_EVENTS.inc()
+                callback()
+            return self.now
+        finally:
+            if self.now > started:
+                _OBS_SIM_TIME.inc(self.now - started)
 
     def pending(self) -> int:
         return len(self._queue)

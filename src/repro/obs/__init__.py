@@ -59,6 +59,7 @@ from repro.obs.runtime import (
     tracer,
     uninstall,
 )
+from repro.obs.snapshot import SnapshotDelta, diff_snapshots, metric_snapshot
 from repro.obs.tracing import TraceEvent, Tracer, TraceSpan
 
 __all__ = [
@@ -90,4 +91,7 @@ __all__ = [
     "trace_records",
     "write_jsonl",
     "render_table",
+    "SnapshotDelta",
+    "metric_snapshot",
+    "diff_snapshots",
 ]

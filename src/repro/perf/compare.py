@@ -1,0 +1,199 @@
+"""Noise-aware artifact comparison with a hard deterministic gate.
+
+The comparator reads two artifacts (OLD baseline, NEW candidate) and
+applies two very different standards:
+
+- **deterministic sections** (bench figures, obs metric snapshots,
+  budget values) are compared with exact equality via
+  :func:`repro.obs.diff_snapshots`.  ANY drift fails: the suite is
+  seeded end to end, so a changed counter is a behavioural change, not
+  noise.
+- **wall-clock medians** get an IQR-derived threshold: a bench regresses
+  only if its new median exceeds the old by more than
+  ``max(old_iqr, new_iqr) * wall_factor`` *and* by more than
+  ``wall_ratio`` relatively.  Both conditions must hold so that
+  microsecond-scale benches aren't failed on scheduler jitter.
+
+Artifacts are only comparable at the same ``payload_scale`` and
+``repeats``; a mismatch raises :class:`~repro.core.errors.PerfError`
+(CLI exit code 2) rather than reporting meaningless deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import PerfError
+from repro.obs.snapshot import diff_snapshots
+from repro.perf.schema import Artifact
+
+__all__ = [
+    "DEFAULT_WALL_FACTOR",
+    "DEFAULT_WALL_RATIO",
+    "Finding",
+    "CompareResult",
+    "compare_artifacts",
+    "render_comparison",
+]
+
+DEFAULT_WALL_FACTOR = 1.5
+DEFAULT_WALL_RATIO = 1.10
+
+#: Finding kinds that fail the comparison.
+_FAILING = frozenset({
+    "bench-removed",
+    "bench-added",
+    "figure-drift",
+    "metric-drift",
+    "budget-drift",
+    "budget-failed",
+    "wall-regression",
+})
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One comparator observation; ``kind`` decides pass/fail."""
+
+    kind: str
+    bench: str
+    detail: str
+
+    @property
+    def failing(self) -> bool:
+        return self.kind in _FAILING
+
+
+@dataclass(frozen=True, slots=True)
+class CompareResult:
+    findings: tuple[Finding, ...]
+
+    @property
+    def failures(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.failing)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _compare_wall(
+    old: Artifact,
+    new: Artifact,
+    wall_factor: float,
+    wall_ratio: float,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for record in new.benches:
+        baseline = old.bench(record.name)
+        if baseline is None:
+            continue
+        old_median = baseline.wall.median
+        new_median = record.wall.median
+        threshold = max(baseline.wall.iqr, record.wall.iqr) * wall_factor
+        detail = (
+            f"median {old_median * 1e3:.2f}ms -> {new_median * 1e3:.2f}ms "
+            f"(threshold ±{threshold * 1e3:.2f}ms, ratio gate {wall_ratio:.2f}x)"
+        )
+        if (new_median > old_median + threshold
+                and new_median > old_median * wall_ratio):
+            findings.append(Finding("wall-regression", record.name, detail))
+        elif (old_median > new_median + threshold
+                and old_median > new_median * wall_ratio):
+            findings.append(Finding("wall-improvement", record.name, detail))
+    return findings
+
+
+def _compare_deterministic(old: Artifact, new: Artifact) -> list[Finding]:
+    findings: list[Finding] = []
+    old_names = set(old.bench_names)
+    new_names = set(new.bench_names)
+    for name in sorted(old_names - new_names):
+        findings.append(Finding(
+            "bench-removed", name,
+            "bench present in baseline but missing from the new artifact",
+        ))
+    for name in sorted(new_names - old_names):
+        findings.append(Finding(
+            "bench-added", name,
+            "bench missing from the baseline (regenerate the baseline artifact)",
+        ))
+    for name in sorted(old_names & new_names):
+        old_record = old.bench(name)
+        new_record = new.bench(name)
+        assert old_record is not None and new_record is not None
+        for delta in diff_snapshots(old_record.figures, new_record.figures):
+            findings.append(Finding(
+                "figure-drift", name,
+                f"figure {delta.key} {delta.kind}: {delta.old!r} -> {delta.new!r}",
+            ))
+        for delta in diff_snapshots(old_record.metrics, new_record.metrics):
+            findings.append(Finding(
+                "metric-drift", name,
+                f"counter {delta.key} {delta.kind}: {delta.old!r} -> {delta.new!r}",
+            ))
+    old_budgets = {budget.name: budget for budget in old.budgets}
+    new_budgets = {budget.name: budget for budget in new.budgets}
+    for name in sorted(set(old_budgets) | set(new_budgets)):
+        old_budget = old_budgets.get(name)
+        new_budget = new_budgets.get(name)
+        if old_budget is None or new_budget is None:
+            findings.append(Finding(
+                "budget-drift", name,
+                "budget present in only one artifact",
+            ))
+            continue
+        if (old_budget.value, old_budget.limit) != (new_budget.value, new_budget.limit):
+            findings.append(Finding(
+                "budget-drift", name,
+                f"budget {old_budget.value} {old_budget.op} {old_budget.limit} -> "
+                f"{new_budget.value} {new_budget.op} {new_budget.limit}",
+            ))
+        if not new_budget.passed:
+            findings.append(Finding(
+                "budget-failed", name,
+                f"{new_budget.claim}: {new_budget.value} {new_budget.op} "
+                f"{new_budget.limit} is false",
+            ))
+    return findings
+
+
+def compare_artifacts(
+    old: Artifact,
+    new: Artifact,
+    check_wall: bool = True,
+    wall_factor: float = DEFAULT_WALL_FACTOR,
+    wall_ratio: float = DEFAULT_WALL_RATIO,
+) -> CompareResult:
+    """Compare baseline *old* against candidate *new*."""
+    if old.payload_scale != new.payload_scale:
+        raise PerfError(
+            f"artifacts are not comparable: payload_scale "
+            f"{old.payload_scale} vs {new.payload_scale}"
+        )
+    if old.repeats != new.repeats:
+        raise PerfError(
+            f"artifacts are not comparable: repeats {old.repeats} vs {new.repeats}"
+        )
+    findings = _compare_deterministic(old, new)
+    if check_wall:
+        findings.extend(_compare_wall(old, new, wall_factor, wall_ratio))
+    findings.sort(key=lambda f: (f.failing is False, f.kind, f.bench))
+    return CompareResult(findings=tuple(findings))
+
+
+def render_comparison(result: CompareResult) -> str:
+    """A human-readable verdict block for the CLI."""
+    lines: list[str] = []
+    if result.ok and not result.findings:
+        lines.append("compare: artifacts agree (deterministic sections identical, "
+                     "wall within noise)")
+    for finding in result.findings:
+        marker = "FAIL" if finding.failing else "info"
+        lines.append(f"[{marker}] {finding.kind:16s} {finding.bench}: {finding.detail}")
+    summary = (
+        f"compare: {len(result.failures)} failure(s), "
+        f"{len(result.findings) - len(result.failures)} informational"
+    )
+    lines.append(summary)
+    return "\n".join(lines)

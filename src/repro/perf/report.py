@@ -1,0 +1,86 @@
+"""The trajectory dashboard over every committed ``BENCH_<n>.json``.
+
+``python -m repro.perf report`` loads every artifact at the repo root in
+index order and renders one aligned table: a per-artifact summary block
+(bench count, total wall median, total simulated seconds, budget
+verdicts) followed by the per-bench wall-median trajectory, so a perf
+drift across PRs is visible as a row trending the wrong way.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.errors import PerfError
+from repro.perf.schema import Artifact, artifact_paths, load_artifact
+
+__all__ = ["load_trajectory", "render_trajectory"]
+
+
+def load_trajectory(root: Path | str) -> list[tuple[int, Artifact]]:
+    """Every artifact under *root*, sorted by index."""
+    loaded: list[tuple[int, Artifact]] = []
+    for index, path in artifact_paths(root):
+        loaded.append((index, load_artifact(path)))
+    return loaded
+
+
+def _format_row(cells: list[str], widths: list[int]) -> str:
+    return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+
+def _table(rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(row[column]) for row in rows)
+        for column in range(len(rows[0]))
+    ]
+    lines = [_format_row(rows[0], widths)]
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(_format_row(row, widths) for row in rows[1:])
+    return lines
+
+
+def render_trajectory(trajectory: list[tuple[int, Artifact]]) -> str:
+    """The dashboard: summary block + per-bench wall-median table."""
+    if not trajectory:
+        raise PerfError(
+            "no BENCH_*.json artifacts found; run `python -m repro.perf run` first"
+        )
+    lines: list[str] = ["benchmark trajectory", ""]
+
+    summary: list[list[str]] = [[
+        "artifact", "scale", "repeats", "benches",
+        "wall median", "sim time", "events", "budgets",
+    ]]
+    for index, artifact in trajectory:
+        failed = len(artifact.failed_budgets)
+        verdict = "all pass" if failed == 0 else f"{failed} FAILED"
+        summary.append([
+            f"BENCH_{index:04d}",
+            f"{artifact.payload_scale:g}" + (" (quick)" if artifact.quick else ""),
+            str(artifact.repeats),
+            str(len(artifact.benches)),
+            f"{artifact.total_wall_median_s * 1e3:.1f}ms",
+            f"{artifact.total_sim_time_s:.3f}s",
+            str(artifact.total_events),
+            f"{len(artifact.budgets)} checks, {verdict}",
+        ])
+    lines.extend(_table(summary))
+    lines.append("")
+
+    names = sorted({name for _, artifact in trajectory
+                    for name in artifact.bench_names})
+    per_bench: list[list[str]] = [
+        ["bench"] + [f"BENCH_{index:04d}" for index, _ in trajectory]
+    ]
+    for name in names:
+        row = [name]
+        for _, artifact in trajectory:
+            record = artifact.bench(name)
+            row.append(
+                f"{record.wall.median * 1e3:.2f}ms" if record is not None else "-"
+            )
+        per_bench.append(row)
+    lines.append("wall median per bench:")
+    lines.extend(_table(per_bench))
+    return "\n".join(lines)

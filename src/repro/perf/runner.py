@@ -1,0 +1,219 @@
+"""Discover and execute the bench suite into one ``BENCH_<n>.json``.
+
+Every ``benchmarks/bench_*.py`` registers a ``run(payload_scale)``
+entry point in ``_common.BENCH_REGISTRY`` at import time.  The runner
+imports them all, executes each entry ``repeats`` times — every repeat
+under a fresh :func:`repro.obs.session` so the metric snapshot starts
+from zero — and collects:
+
+- wall-clock samples (median-of-k with IQR; the only nondeterministic
+  numbers in the artifact besides hotspots),
+- the deterministic figure dict the bench returned,
+- the full :func:`repro.obs.metric_snapshot`, which includes the
+  event-loop's simulated-time and event totals.
+
+Figures and metrics must agree *exactly* across repeats; any drift
+means a bench leaked nondeterminism and the run fails loudly rather
+than committing an uncomparable artifact.
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import sys
+import time
+from contextlib import redirect_stdout
+from pathlib import Path
+from typing import Callable, Protocol, Sequence
+
+from repro.core.errors import PerfError
+from repro.obs import Registry, session
+from repro.obs.snapshot import Scalar, metric_snapshot
+from repro.perf.profile import collect_hotspots, evaluate_budgets
+from repro.perf.schema import Artifact, BenchRecord, WallStats
+
+__all__ = [
+    "BenchEntryLike",
+    "DEFAULT_REPEATS",
+    "DEFAULT_SCALE",
+    "QUICK_REPEATS",
+    "QUICK_SCALE",
+    "repo_root",
+    "default_bench_dir",
+    "load_registry",
+    "run_bench",
+    "run_suite",
+]
+
+DEFAULT_REPEATS = 5
+DEFAULT_SCALE = 1.0
+QUICK_REPEATS = 2
+QUICK_SCALE = 0.25
+
+
+class BenchEntryLike(Protocol):
+    """What the runner needs from a ``_common.BenchEntry``."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def module(self) -> str: ...
+
+    @property
+    def fn(self) -> Callable[[float], dict[str, object]]: ...
+
+
+def repo_root() -> Path:
+    """The repository root (three levels above this package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def default_bench_dir() -> Path:
+    return repo_root() / "benchmarks"
+
+
+def load_registry(bench_dir: Path | None = None) -> dict[str, BenchEntryLike]:
+    """Import every ``bench_*.py`` and return the populated registry."""
+    directory = bench_dir if bench_dir is not None else default_bench_dir()
+    if not directory.is_dir():
+        raise PerfError(f"bench directory not found: {directory}")
+    modules = sorted(path.stem for path in directory.glob("bench_*.py"))
+    if not modules:
+        raise PerfError(f"no bench_*.py modules under {directory}")
+    path_entry = str(directory)
+    if path_entry not in sys.path:
+        # Bench modules import each other by plain name (``from
+        # bench_claim_latency import ...``), so the directory itself
+        # must be importable.
+        sys.path.insert(0, path_entry)
+    for module in modules:
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            raise PerfError(f"cannot import bench module {module}: {exc}") from exc
+    common = importlib.import_module("_common")
+    registry: dict[str, BenchEntryLike] = dict(common.BENCH_REGISTRY)
+    if not registry:
+        raise PerfError("bench registry is empty: no @register_bench entry points")
+    return registry
+
+
+def _validate_figures(name: str, raw: object) -> dict[str, Scalar]:
+    if not isinstance(raw, dict):
+        raise PerfError(
+            f"bench {name!r} returned {type(raw).__name__}, expected a figure dict"
+        )
+    figures: dict[str, Scalar] = {}
+    for key, value in raw.items():
+        if not isinstance(key, str):
+            raise PerfError(f"bench {name!r} figure key {key!r} is not a string")
+        if isinstance(value, bool):
+            # Normalize: booleans serialize as true/false and read back
+            # as bool, which would compare unequal to a re-run's int.
+            figures[key] = int(value)
+        elif value is None or isinstance(value, (int, float, str)):
+            figures[key] = value
+        else:
+            raise PerfError(
+                f"bench {name!r} figure {key!r} is {type(value).__name__}, "
+                "expected a JSON scalar"
+            )
+    return dict(sorted(figures.items()))
+
+
+def run_bench(
+    entry: BenchEntryLike,
+    payload_scale: float,
+    repeats: int,
+    profile_top: int = 0,
+) -> BenchRecord:
+    """Execute one bench entry ``repeats`` times under observed sessions."""
+    if repeats < 1:
+        raise PerfError("repeats must be >= 1")
+    samples: list[float] = []
+    figures: dict[str, Scalar] | None = None
+    metrics: dict[str, Scalar] | None = None
+    for repeat in range(repeats):
+        registry = Registry()
+        sink = io.StringIO()
+        with session(registry=registry):
+            started = time.perf_counter()
+            with redirect_stdout(sink):
+                raw = entry.fn(payload_scale)
+            samples.append(time.perf_counter() - started)
+        run_figures = _validate_figures(entry.name, raw)
+        run_metrics = metric_snapshot(registry)
+        if figures is None or metrics is None:
+            figures, metrics = run_figures, run_metrics
+        else:
+            if run_figures != figures:
+                raise PerfError(
+                    f"bench {entry.name!r} figures drifted between repeat 1 "
+                    f"and repeat {repeat + 1}: nondeterministic bench"
+                )
+            if run_metrics != metrics:
+                raise PerfError(
+                    f"bench {entry.name!r} obs metrics drifted between repeat 1 "
+                    f"and repeat {repeat + 1}: nondeterministic bench"
+                )
+    assert figures is not None and metrics is not None
+    hotspots = collect_hotspots(entry.fn, payload_scale, profile_top)
+    return BenchRecord(
+        name=entry.name,
+        module=entry.module,
+        wall=WallStats(samples=tuple(samples)),
+        figures=figures,
+        metrics=metrics,
+        hotspots=hotspots,
+    )
+
+
+def _select(registry: dict[str, BenchEntryLike],
+            only: Sequence[str] | None) -> list[BenchEntryLike]:
+    if not only:
+        return [registry[name] for name in sorted(registry)]
+    selected: list[BenchEntryLike] = []
+    for pattern in only:
+        matches = sorted(name for name in registry if pattern in name)
+        if not matches:
+            raise PerfError(
+                f"--only {pattern!r} matches no bench "
+                f"(have: {', '.join(sorted(registry))})"
+            )
+        selected.extend(registry[name] for name in matches)
+    unique: dict[str, BenchEntryLike] = {entry.name: entry for entry in selected}
+    return [unique[name] for name in sorted(unique)]
+
+
+def run_suite(
+    payload_scale: float = DEFAULT_SCALE,
+    repeats: int = DEFAULT_REPEATS,
+    quick: bool = False,
+    only: Sequence[str] | None = None,
+    bench_dir: Path | None = None,
+    profile_top: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> Artifact:
+    """Run the (selected) suite and assemble the artifact."""
+    registry = load_registry(bench_dir)
+    entries = _select(registry, only)
+    records: list[BenchRecord] = []
+    for entry in entries:
+        if progress is not None:
+            progress(f"bench {entry.name} ...")
+        records.append(run_bench(entry, payload_scale, repeats, profile_top))
+    budgets = evaluate_budgets(records)
+    info = {
+        "python": sys.version.split()[0],
+        "platform": sys.platform,
+    }
+    return Artifact(
+        payload_scale=payload_scale,
+        repeats=repeats,
+        quick=quick,
+        benches=tuple(records),
+        budgets=budgets,
+        info=info,
+    )

@@ -1,0 +1,396 @@
+"""The ``BENCH_<n>.json`` artifact schema and its (de)serialization.
+
+One artifact captures one full benchmark-suite run: per-bench wall-clock
+samples, the deterministic figures each bench returned, the complete
+:func:`repro.obs.metric_snapshot` of the observed run, optional cProfile
+hotspots, and the machine-checked paper budgets.
+
+The schema splits cleanly into two halves:
+
+- **deterministic** — ``figures``, ``metrics``, ``sim_time_s``,
+  ``events`` and budget values.  Two runs with the same seeds and
+  ``payload_scale`` must agree byte for byte; :mod:`repro.perf.compare`
+  fails on *any* drift here.
+- **noisy** — ``wall.samples`` and ``hotspots``.  These vary run to run
+  and machine to machine; the comparator applies IQR-derived thresholds
+  instead of exact equality.
+
+Artifacts live at the repo root as ``BENCH_0001.json``,
+``BENCH_0002.json``, ... so the sequence doubles as a perf trajectory
+(:mod:`repro.perf.report`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.errors import PerfError
+from repro.obs.snapshot import Scalar
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ARTIFACT_PATTERN",
+    "WallStats",
+    "Hotspot",
+    "BudgetCheck",
+    "BenchRecord",
+    "Artifact",
+    "load_artifact",
+    "dump_artifact",
+    "artifact_paths",
+    "next_artifact_path",
+]
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Artifact file names at the repo root: ``BENCH_0001.json`` etc.
+ARTIFACT_PATTERN = re.compile(r"^BENCH_(\d{4})\.json$")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise PerfError(f"invalid artifact: {message}")
+
+
+def _scalar_map(raw: object, where: str) -> dict[str, Scalar]:
+    _require(isinstance(raw, dict), f"{where} must be an object")
+    assert isinstance(raw, dict)
+    out: dict[str, Scalar] = {}
+    for key, value in raw.items():
+        _require(isinstance(key, str), f"{where} key {key!r} must be a string")
+        _require(
+            value is None or isinstance(value, (int, float, str)),
+            f"{where}[{key!r}] must be a JSON scalar, got {type(value).__name__}",
+        )
+        out[str(key)] = value
+    return dict(sorted(out.items()))
+
+
+@dataclass(frozen=True, slots=True)
+class WallStats:
+    """Wall-clock samples for one bench (seconds), median-of-k style."""
+
+    samples: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        _require(len(self.samples) >= 1, "wall stats need at least one sample")
+
+    @property
+    def median(self) -> float:
+        return float(statistics.median(self.samples))
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range — the noise scale the comparator uses."""
+        if len(self.samples) < 2:
+            return 0.0
+        quartiles = statistics.quantiles(self.samples, n=4, method="inclusive")
+        return float(quartiles[2] - quartiles[0])
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "samples_s": list(self.samples),
+            "median_s": self.median,
+            "iqr_s": self.iqr,
+        }
+
+    @staticmethod
+    def from_dict(raw: object) -> "WallStats":
+        _require(isinstance(raw, dict), "wall must be an object")
+        assert isinstance(raw, dict)
+        samples = raw.get("samples_s")
+        _require(isinstance(samples, list) and len(samples) >= 1,
+                 "wall.samples_s must be a non-empty list")
+        assert isinstance(samples, list)
+        for sample in samples:
+            _require(isinstance(sample, (int, float)),
+                     "wall.samples_s entries must be numbers")
+        return WallStats(samples=tuple(float(s) for s in samples))
+
+
+@dataclass(frozen=True, slots=True)
+class Hotspot:
+    """One row of a cProfile top-N-by-cumulative-time extraction."""
+
+    function: str       # "file.py:lineno(name)"
+    cumulative_s: float
+    calls: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "function": self.function,
+            "cumulative_s": self.cumulative_s,
+            "calls": self.calls,
+        }
+
+    @staticmethod
+    def from_dict(raw: object) -> "Hotspot":
+        _require(isinstance(raw, dict), "hotspot must be an object")
+        assert isinstance(raw, dict)
+        function = raw.get("function")
+        cumulative = raw.get("cumulative_s")
+        calls = raw.get("calls")
+        _require(isinstance(function, str), "hotspot.function must be a string")
+        _require(isinstance(cumulative, (int, float)),
+                 "hotspot.cumulative_s must be a number")
+        _require(isinstance(calls, int), "hotspot.calls must be an integer")
+        assert isinstance(function, str)
+        assert isinstance(cumulative, (int, float))
+        assert isinstance(calls, int)
+        return Hotspot(function=function, cumulative_s=float(cumulative), calls=calls)
+
+
+@dataclass(frozen=True, slots=True)
+class BudgetCheck:
+    """One machine-checked paper invariant (``value <op> limit``)."""
+
+    name: str     # e.g. "touch.immediate_per_byte"
+    claim: str    # the paper claim it encodes, for humans
+    value: float
+    op: str       # "==", "<=" or ">="
+    limit: float
+    passed: bool
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "claim": self.claim,
+            "value": self.value,
+            "op": self.op,
+            "limit": self.limit,
+            "passed": self.passed,
+        }
+
+    @staticmethod
+    def evaluate(name: str, claim: str, value: float, op: str,
+                 limit: float) -> "BudgetCheck":
+        if op == "==":
+            passed = value == limit
+        elif op == "<=":
+            passed = value <= limit
+        elif op == ">=":
+            passed = value >= limit
+        else:
+            raise PerfError(f"budget {name!r}: unknown op {op!r}")
+        return BudgetCheck(name=name, claim=claim, value=value, op=op,
+                           limit=limit, passed=passed)
+
+    @staticmethod
+    def from_dict(raw: object) -> "BudgetCheck":
+        _require(isinstance(raw, dict), "budget must be an object")
+        assert isinstance(raw, dict)
+        name = raw.get("name")
+        claim = raw.get("claim")
+        value = raw.get("value")
+        op = raw.get("op")
+        limit = raw.get("limit")
+        passed = raw.get("passed")
+        _require(isinstance(name, str), "budget.name must be a string")
+        _require(isinstance(claim, str), "budget.claim must be a string")
+        _require(isinstance(value, (int, float)), "budget.value must be a number")
+        _require(op in ("==", "<=", ">="), f"budget.op {op!r} unknown")
+        _require(isinstance(limit, (int, float)), "budget.limit must be a number")
+        _require(isinstance(passed, bool), "budget.passed must be a boolean")
+        assert isinstance(name, str) and isinstance(claim, str)
+        assert isinstance(value, (int, float)) and isinstance(op, str)
+        assert isinstance(limit, (int, float)) and isinstance(passed, bool)
+        return BudgetCheck(name=name, claim=claim, value=float(value), op=op,
+                           limit=float(limit), passed=passed)
+
+
+@dataclass(frozen=True, slots=True)
+class BenchRecord:
+    """Everything collected for one registered bench entry point."""
+
+    name: str                       # registry key, e.g. "claim_touches"
+    module: str                     # "bench_claim_touches"
+    wall: WallStats
+    figures: dict[str, Scalar]      # deterministic bench return values
+    metrics: dict[str, Scalar]      # full obs metric snapshot
+    hotspots: tuple[Hotspot, ...] = ()
+
+    @property
+    def sim_time_s(self) -> float:
+        """Simulated seconds advanced by event loops during the bench."""
+        value = self.metrics.get("netsim.loop.sim_time_total", 0.0)
+        return float(value) if isinstance(value, (int, float)) else 0.0
+
+    @property
+    def events(self) -> int:
+        """Event-loop callbacks run during the bench."""
+        value = self.metrics.get("netsim.loop.events_processed", 0)
+        return int(value) if isinstance(value, (int, float)) else 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "module": self.module,
+            "wall": self.wall.to_dict(),
+            "sim_time_s": self.sim_time_s,
+            "events": self.events,
+            "figures": dict(sorted(self.figures.items())),
+            "metrics": dict(sorted(self.metrics.items())),
+            "hotspots": [h.to_dict() for h in self.hotspots],
+        }
+
+    @staticmethod
+    def from_dict(raw: object) -> "BenchRecord":
+        _require(isinstance(raw, dict), "bench record must be an object")
+        assert isinstance(raw, dict)
+        name = raw.get("name")
+        module = raw.get("module")
+        _require(isinstance(name, str) and name != "", "bench.name must be a string")
+        _require(isinstance(module, str), "bench.module must be a string")
+        assert isinstance(name, str) and isinstance(module, str)
+        hotspots_raw = raw.get("hotspots", [])
+        _require(isinstance(hotspots_raw, list), "bench.hotspots must be a list")
+        assert isinstance(hotspots_raw, list)
+        return BenchRecord(
+            name=name,
+            module=module,
+            wall=WallStats.from_dict(raw.get("wall")),
+            figures=_scalar_map(raw.get("figures"), f"bench[{name}].figures"),
+            metrics=_scalar_map(raw.get("metrics"), f"bench[{name}].metrics"),
+            hotspots=tuple(Hotspot.from_dict(h) for h in hotspots_raw),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Artifact:
+    """One full suite run: the content of one ``BENCH_<n>.json``."""
+
+    payload_scale: float
+    repeats: int
+    quick: bool
+    benches: tuple[BenchRecord, ...]
+    budgets: tuple[BudgetCheck, ...] = ()
+    schema_version: int = SCHEMA_VERSION
+    info: dict[str, str] = field(default_factory=dict)
+
+    def bench(self, name: str) -> BenchRecord | None:
+        for record in self.benches:
+            if record.name == name:
+                return record
+        return None
+
+    @property
+    def bench_names(self) -> tuple[str, ...]:
+        return tuple(record.name for record in self.benches)
+
+    @property
+    def total_wall_median_s(self) -> float:
+        return sum(record.wall.median for record in self.benches)
+
+    @property
+    def total_sim_time_s(self) -> float:
+        return sum(record.sim_time_s for record in self.benches)
+
+    @property
+    def total_events(self) -> int:
+        return sum(record.events for record in self.benches)
+
+    @property
+    def failed_budgets(self) -> tuple[BudgetCheck, ...]:
+        return tuple(b for b in self.budgets if not b.passed)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "payload_scale": self.payload_scale,
+            "repeats": self.repeats,
+            "quick": self.quick,
+            "info": dict(sorted(self.info.items())),
+            "benches": [record.to_dict() for record in
+                        sorted(self.benches, key=lambda r: r.name)],
+            "budgets": [budget.to_dict() for budget in self.budgets],
+        }
+
+    @staticmethod
+    def from_dict(raw: object) -> "Artifact":
+        _require(isinstance(raw, dict), "artifact root must be an object")
+        assert isinstance(raw, dict)
+        version = raw.get("schema_version")
+        _require(isinstance(version, int), "schema_version must be an integer")
+        assert isinstance(version, int)
+        _require(
+            version == SCHEMA_VERSION,
+            f"schema_version {version} unsupported (expected {SCHEMA_VERSION})",
+        )
+        payload_scale = raw.get("payload_scale")
+        repeats = raw.get("repeats")
+        quick = raw.get("quick")
+        _require(isinstance(payload_scale, (int, float)) and payload_scale > 0,
+                 "payload_scale must be a positive number")
+        _require(isinstance(repeats, int) and repeats >= 1,
+                 "repeats must be a positive integer")
+        _require(isinstance(quick, bool), "quick must be a boolean")
+        assert isinstance(payload_scale, (int, float))
+        assert isinstance(repeats, int) and isinstance(quick, bool)
+        benches_raw = raw.get("benches")
+        _require(isinstance(benches_raw, list) and benches_raw,
+                 "benches must be a non-empty list")
+        assert isinstance(benches_raw, list)
+        budgets_raw = raw.get("budgets", [])
+        _require(isinstance(budgets_raw, list), "budgets must be a list")
+        assert isinstance(budgets_raw, list)
+        info_raw = raw.get("info", {})
+        _require(isinstance(info_raw, dict), "info must be an object")
+        assert isinstance(info_raw, dict)
+        info = {str(k): str(v) for k, v in info_raw.items()}
+        benches = tuple(BenchRecord.from_dict(b) for b in benches_raw)
+        names = [record.name for record in benches]
+        _require(len(names) == len(set(names)), "duplicate bench names")
+        return Artifact(
+            payload_scale=float(payload_scale),
+            repeats=repeats,
+            quick=quick,
+            benches=benches,
+            budgets=tuple(BudgetCheck.from_dict(b) for b in budgets_raw),
+            schema_version=version,
+            info=info,
+        )
+
+
+def load_artifact(path: Path | str) -> Artifact:
+    """Parse and validate one ``BENCH_<n>.json``."""
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text())
+    except OSError as exc:
+        raise PerfError(f"cannot read artifact {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise PerfError(f"artifact {path} is not valid JSON: {exc}") from exc
+    try:
+        return Artifact.from_dict(raw)
+    except PerfError as exc:
+        raise PerfError(f"{path}: {exc}") from exc
+
+
+def dump_artifact(artifact: Artifact, path: Path | str) -> None:
+    """Write *artifact* as stable, diff-friendly JSON."""
+    payload = json.dumps(artifact.to_dict(), indent=1, sort_keys=True)
+    Path(path).write_text(payload + "\n")
+
+
+def artifact_paths(root: Path | str) -> list[tuple[int, Path]]:
+    """All ``BENCH_<n>.json`` files under *root*, sorted by index."""
+    found: list[tuple[int, Path]] = []
+    for entry in Path(root).iterdir():
+        match = ARTIFACT_PATTERN.match(entry.name)
+        if match:
+            found.append((int(match.group(1)), entry))
+    return sorted(found)
+
+
+def next_artifact_path(root: Path | str) -> Path:
+    """The first unused ``BENCH_<n>.json`` path under *root*."""
+    existing = artifact_paths(root)
+    index = existing[-1][0] + 1 if existing else 1
+    if index > 9999:
+        raise PerfError("artifact index space exhausted (BENCH_9999.json)")
+    return Path(root) / f"BENCH_{index:04d}.json"
