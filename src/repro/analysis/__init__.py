@@ -23,11 +23,33 @@ the test suite does:
 - ``export-drift`` — every ``__all__`` entry exists and every public
   top-level def/class is either exported or underscore-private.
 
-Run it as ``python -m repro.analysis`` (see :mod:`repro.analysis.cli`).
+Four interprocedural passes run over the whole-program import/call
+graph (:mod:`repro.analysis.graph`):
+
+- ``layering`` — imports follow the architecture DAG of
+  ``docs/architecture.md``; no layer imports upward.
+- ``rng-flow`` — an unseeded ``random.Random`` may not reach
+  netsim/transport on *any* call path, however many helper hops it is
+  laundered through.
+- ``hot-path-copy`` — no payload copies (``bytes()``, slices,
+  ``+``-concat) on the receive paths; the static form of the paper's
+  touch-once budget.
+- ``mutable-sharing`` — scheduled callbacks never mutate module-level
+  shared state.
+
+The runtime half is :mod:`repro.analysis.simsan`: an opt-in event-loop
+sanitizer (``REPRO_SIMSAN=1`` / ``pytest --simsan``) that fingerprints
+scheduled payload buffers, detects mutation-after-schedule aliasing
+with the scheduling backtrace, and maintains a schedule audit digest
+for cross-run nondeterminism diffs.
+
+Run the analyzer as ``python -m repro.analysis`` or via the
+``protolint`` console script (see :mod:`repro.analysis.cli`).
 """
 
 from __future__ import annotations
 
+from repro.analysis import simsan
 from repro.analysis.baseline import load_baseline, write_baseline
 from repro.analysis.core import Finding, ModuleUnit, Pass, run_passes
 from repro.analysis.passes import all_passes
@@ -40,4 +62,5 @@ __all__ = [
     "all_passes",
     "load_baseline",
     "write_baseline",
+    "simsan",
 ]

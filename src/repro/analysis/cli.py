@@ -1,10 +1,17 @@
-"""Command line for protolint: ``python -m repro.analysis``.
+"""Command line for protolint: ``python -m repro.analysis`` (also
+installed as the ``protolint`` console script).
 
 Exit codes: 0 = no new findings, 1 = new findings, 2 = bad invocation.
 By default only ``error``-severity findings affect the exit code;
 ``--strict`` counts warnings too.  A baseline file (default
 ``protolint.baseline.json`` next to the analyzed tree, when present)
 lists accepted findings by fingerprint; anything not in it is *new*.
+
+``--format github`` emits GitHub Actions workflow annotations
+(``::error file=...,line=...``) so findings surface inline on the PR
+diff; ``--check-baseline`` enforces baseline hygiene — it exits 1 when
+the baseline lists fingerprints that no longer fire, so the baseline
+can only ever shrink.
 """
 
 from __future__ import annotations
@@ -56,6 +63,40 @@ def collect_units(paths: Sequence[Path]) -> list[ModuleUnit]:
     return units
 
 
+def _render_github(new: list[Finding]) -> str:
+    """GitHub Actions workflow annotations, one per finding."""
+    lines = []
+    for finding in new:
+        level = "error" if finding.severity == "error" else "warning"
+        # Annotation messages are single-line; the %0A escape is the
+        # documented newline encoding for workflow commands.
+        message = finding.message.replace("%", "%25").replace("\n", "%0A")
+        lines.append(
+            f"::{level} file={finding.path},line={finding.line},"
+            f"title=protolint[{finding.pass_id}]::{message}"
+        )
+    lines.append(f"protolint: {len(new)} finding(s)")
+    return "\n".join(lines)
+
+
+def _check_baseline(findings: list[Finding], accepted: set[str]) -> int:
+    """Baseline hygiene: every baselined fingerprint must still fire."""
+    current = {finding.fingerprint for finding in findings}
+    stale = sorted(accepted - current)
+    if not stale:
+        print(
+            f"protolint: baseline ok ({len(accepted)} entr"
+            f"{'y' if len(accepted) == 1 else 'ies'}, none stale)"
+        )
+        return 0
+    for fingerprint in stale:
+        print(
+            f"protolint: stale baseline entry {fingerprint}: the finding no "
+            "longer fires — delete it so the baseline only shrinks"
+        )
+    return 1
+
+
 def _render_text(findings: list[Finding], new: list[Finding], strict: bool) -> str:
     lines = [finding.render() for finding in new]
     baselined = len(findings) - len(new)
@@ -83,9 +124,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "github"],
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; github = workflow annotations)",
     )
     parser.add_argument(
         "--select",
@@ -106,6 +147,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--write-baseline",
         action="store_true",
         help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="baseline hygiene: exit 1 if the baseline lists findings "
+        "that no longer fire (the baseline may only shrink)",
     )
     parser.add_argument(
         "--strict",
@@ -161,9 +208,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"protolint: {exc}", file=sys.stderr)
         return 2
 
+    if args.check_baseline:
+        return _check_baseline(findings, accepted)
+
     new = filter_new(findings, accepted)
 
-    if args.format == "json":
+    if args.format == "github":
+        print(_render_github(new))
+    elif args.format == "json":
         payload = {
             "version": 1,
             "passes": sorted(pass_.id for pass_ in passes),

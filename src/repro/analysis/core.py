@@ -13,14 +13,18 @@ import hashlib
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.core.errors import AnalysisError
+
+if TYPE_CHECKING:
+    from repro.analysis.graph import ProjectGraph
 
 __all__ = [
     "Finding",
     "ModuleUnit",
     "Pass",
+    "ProjectPass",
     "run_passes",
     "module_name_for_path",
     "dotted_name",
@@ -177,15 +181,72 @@ class Pass:
         )
 
 
+class ProjectPass(Pass):
+    """A pass that analyzes the whole module set at once.
+
+    Interprocedural passes (layering, rng-flow, hot-path-copy) need the
+    import/call graph of every collected module; the runner builds one
+    :class:`~repro.analysis.graph.ProjectGraph` and hands it to
+    :meth:`check_project`.  :meth:`check` is a no-op so a
+    ``ProjectPass`` can sit in the same pass list as per-module passes.
+    """
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, graph: "ProjectGraph") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        path: str,
+        line: int,
+        message: str,
+        *,
+        symbol: str = "",
+        severity: str = "error",
+    ) -> Finding:
+        return Finding(
+            pass_id=self.id,
+            path=path,
+            line=line,
+            message=message,
+            severity=severity,
+            symbol=symbol,
+        )
+
+
 def run_passes(units: Iterable[ModuleUnit], passes: Iterable[Pass]) -> list[Finding]:
-    """Run every pass over every unit, dropping suppressed findings."""
+    """Run every pass over every unit, dropping suppressed findings.
+
+    Per-module passes see one unit at a time; :class:`ProjectPass`
+    instances run once against a :class:`ProjectGraph` built from the
+    full unit list.  Inline suppressions apply to both kinds.
+    """
+    unit_list = list(units)
     pass_list = list(passes)
+    module_passes = [p for p in pass_list if not isinstance(p, ProjectPass)]
+    project_passes = [p for p in pass_list if isinstance(p, ProjectPass)]
+
+    by_path: dict[str, ModuleUnit] = {u.display_path: u for u in unit_list}
     findings: list[Finding] = []
-    for unit in units:
-        for pass_ in pass_list:
+    for unit in unit_list:
+        for pass_ in module_passes:
             for found in pass_.check(unit):
                 if not unit.is_suppressed(found.line, pass_.id):
                     findings.append(found)
+
+    if project_passes:
+        from repro.analysis.graph import ProjectGraph  # local: avoid import cycle
+
+        graph = ProjectGraph(unit_list)
+        for pass_ in project_passes:
+            for found in pass_.check_project(graph):
+                unit = by_path.get(found.path)
+                if unit is not None and unit.is_suppressed(found.line, pass_.id):
+                    continue
+                findings.append(found)
+
     findings.sort(key=lambda f: (f.path, f.line, f.pass_id, f.message))
     return findings
 

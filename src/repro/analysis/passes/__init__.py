@@ -1,4 +1,9 @@
-"""The five protolint passes (see :mod:`repro.analysis` for overview)."""
+"""The nine protolint passes (see :mod:`repro.analysis` for overview).
+
+Five are per-module AST checks (PR 1); four are interprocedural,
+running over the :class:`~repro.analysis.graph.ProjectGraph` the runner
+builds from the full module set.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +12,10 @@ from repro.analysis.passes.codec_symmetry import CodecSymmetryPass
 from repro.analysis.passes.determinism import DeterminismPass
 from repro.analysis.passes.exception_discipline import ExceptionDisciplinePass
 from repro.analysis.passes.export_drift import ExportDriftPass
+from repro.analysis.passes.hot_path_copy import HotPathCopyPass
+from repro.analysis.passes.layering import LayeringPass
+from repro.analysis.passes.mutable_sharing import MutableSharingPass
+from repro.analysis.passes.rng_flow import RngFlowPass
 from repro.analysis.passes.wire_width import WireWidthPass
 
 __all__ = [
@@ -15,6 +24,10 @@ __all__ = [
     "DeterminismPass",
     "ExceptionDisciplinePass",
     "ExportDriftPass",
+    "LayeringPass",
+    "RngFlowPass",
+    "HotPathCopyPass",
+    "MutableSharingPass",
     "all_passes",
 ]
 
@@ -27,4 +40,8 @@ def all_passes() -> list[Pass]:
         DeterminismPass(),
         ExceptionDisciplinePass(),
         ExportDriftPass(),
+        LayeringPass(),
+        RngFlowPass(),
+        HotPathCopyPass(),
+        MutableSharingPass(),
     ]

@@ -1,0 +1,220 @@
+"""rng-flow: unseeded randomness must not reach the simulator.
+
+The per-module ``determinism`` pass bans ``import random`` *inside*
+``repro.netsim`` / ``repro.transport`` / ``repro.host``.  This pass
+closes the interprocedural hole: code anywhere else constructing an
+**unseeded** ``random.Random()`` and handing it into a netsim/transport
+callable — directly, or laundered through any number of helper
+functions — silently breaks run-to-run reproducibility, which the perf
+gates (``repro.perf``) depend on.
+
+Taint model (conservative, all-call-paths):
+
+- ``random.Random()`` with **no arguments** is tainted; any seeded
+  construction (``Random(42)``, ``substream(...)``,
+  ``default_rng()``) is clean.
+- A function whose *any* return path yields a tainted value is
+  tainted — if one branch returns ``substream(...)`` and another
+  returns ``random.Random()``, the function is tainted, because the
+  invariant must hold on **all** call paths.
+- A local name assigned a tainted expression is tainted (no
+  kill-analysis: re-assignment does not clean it — over-approximation).
+
+Sinks: any call whose resolved target lives under ``repro.netsim`` or
+``repro.transport`` (alias-table resolution), plus — because attribute
+calls cannot always be resolved statically — any call passing a tainted
+value as an ``rng=`` keyword.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleUnit, ProjectPass, dotted_name
+from repro.analysis.graph import FunctionInfo, ProjectGraph
+
+__all__ = ["RngFlowPass"]
+
+SINK_PREFIXES = ("repro.netsim", "repro.transport")
+BLESSED_SUFFIXES = ("default_rng", "substream")
+
+
+def _is_random_ctor(call: ast.Call, unit_aliases: dict[str, str]) -> bool:
+    """True when *call* constructs ``random.Random``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        dotted = dotted_name(func)
+        if dotted is None:
+            return False
+        head, _, rest = dotted.partition(".")
+        resolved = unit_aliases.get(head, head)
+        return f"{resolved}.{rest}" == "random.Random" if rest else False
+    if isinstance(func, ast.Name):
+        return unit_aliases.get(func.id) == "random.Random"
+    return False
+
+
+class _FunctionTaint:
+    """Per-function taint evaluation against the current summary map."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        graph: ProjectGraph,
+        tainted_functions: set[str],
+    ) -> None:
+        self.info = info
+        self.graph = graph
+        self.tainted_functions = tainted_functions
+        self.aliases = graph.aliases.get(info.module, {})
+        self.tainted_locals: set[str] = set()
+        # Two sweeps so a use before the (textual) assignment still sees
+        # the taint — good enough for straight-line helper code.
+        for _ in range(2):
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Assign):
+                    if self.is_tainted(node.value):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                self.tainted_locals.add(target.id)
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    if self.is_tainted(node.value) and isinstance(node.target, ast.Name):
+                        self.tainted_locals.add(node.target.id)
+
+    def is_tainted(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Call):
+            if _is_random_ctor(expr, self.aliases):
+                return not expr.args and not expr.keywords  # unseeded only
+            candidates, exact = self.graph.resolve_call(self.info, expr)
+            if exact and candidates and candidates <= self.tainted_functions:
+                return True
+            # Inexact resolution: only claim taint when *every* candidate
+            # of that name is tainted (keeps the pass quiet on the huge
+            # fallback sets conservative resolution produces).
+            if not exact and candidates and candidates <= self.tainted_functions:
+                return True
+            return False
+        if isinstance(expr, ast.Name):
+            return expr.id in self.tainted_locals
+        if isinstance(expr, ast.IfExp):
+            return self.is_tainted(expr.body) or self.is_tainted(expr.orelse)
+        return False
+
+    def returns_taint(self) -> bool:
+        for node in ast.walk(self.info.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if self.is_tainted(node.value):
+                    return True
+        return False
+
+
+class RngFlowPass(ProjectPass):
+    id = "rng-flow"
+    description = "no unseeded random.Random flows into netsim/transport"
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        tainted: set[str] = set()
+        # Fixpoint over return summaries (monotone: taint only grows).
+        changed = True
+        while changed:
+            changed = False
+            for qual, info in graph.functions.items():
+                if qual in tainted:
+                    continue
+                if _FunctionTaint(info, graph, tainted).returns_taint():
+                    tainted.add(qual)
+                    changed = True
+
+        for qual, info in graph.functions.items():
+            evaluator = _FunctionTaint(info, graph, tainted)
+            for call in graph.calls_in(info):
+                yield from self._check_call(info, call, evaluator, graph)
+        # Module-level statements (dataclass field defaults, constants)
+        # live outside any function; wrap them in a synthetic unit scan.
+        for module, unit in graph.units.items():
+            yield from self._check_module_level(unit, graph, tainted)
+
+    # ------------------------------------------------------------------
+
+    def _sink_target(
+        self, info: FunctionInfo | None, module: str, call: ast.Call, graph: ProjectGraph
+    ) -> str | None:
+        """Resolved qualified target when *call* enters netsim/transport."""
+        func = call.func
+        dotted: str | None = None
+        if isinstance(func, ast.Name):
+            dotted = func.id
+        elif isinstance(func, ast.Attribute):
+            dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        resolved = graph.resolve_dotted(module, dotted)
+        if resolved is None:
+            return None
+        if resolved.startswith(SINK_PREFIXES) and not resolved.endswith(BLESSED_SUFFIXES):
+            return resolved
+        return None
+
+    def _check_call(
+        self,
+        info: FunctionInfo,
+        call: ast.Call,
+        evaluator: _FunctionTaint,
+        graph: ProjectGraph,
+    ) -> Iterator[Finding]:
+        target = self._sink_target(info, info.module, call, graph)
+        args = [(None, a) for a in call.args] + [
+            (kw.arg, kw.value) for kw in call.keywords
+        ]
+        for name, value in args:
+            is_bad = evaluator.is_tainted(value)
+            if not is_bad:
+                continue
+            if target is not None:
+                yield self.finding_at(
+                    info.unit.display_path,
+                    value.lineno,
+                    f"unseeded random.Random reaches `{target}` (argument "
+                    f"{name or 'positional'}): every rng entering "
+                    "netsim/transport must be netsim.rng.default_rng(), a "
+                    "substream, or an explicitly seeded instance on all "
+                    "call paths",
+                    symbol=f"taint:{info.qualname}->{target}",
+                )
+            elif name == "rng":
+                yield self.finding_at(
+                    info.unit.display_path,
+                    value.lineno,
+                    "unseeded random.Random passed as rng= (unresolved "
+                    "callee): seed it or use netsim.rng.substream so the "
+                    "simulation stays reproducible",
+                    symbol=f"taint-kwarg:{info.qualname}",
+                )
+
+    def _check_module_level(
+        self, unit: ModuleUnit, graph: ProjectGraph, tainted: set[str]
+    ) -> Iterator[Finding]:
+        aliases = graph.aliases.get(unit.module, {})
+        for stmt in unit.tree.body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = self._sink_target(None, unit.module, node, graph)
+                if target is None:
+                    continue
+                for kw in node.keywords:
+                    if (
+                        isinstance(kw.value, ast.Call)
+                        and _is_random_ctor(kw.value, aliases)
+                        and not kw.value.args
+                        and not kw.value.keywords
+                    ):
+                        yield self.finding_at(
+                            unit.display_path,
+                            kw.value.lineno,
+                            f"unseeded random.Random() passed to `{target}` at "
+                            "module level: use netsim.rng.default_rng or a "
+                            "seeded substream",
+                            symbol=f"taint-module:{unit.module}->{target}",
+                        )

@@ -22,6 +22,7 @@ __all__ = [
     "NotNestedError",
     "AnalysisError",
     "PerfError",
+    "SimSanError",
 ]
 
 
@@ -90,3 +91,9 @@ class AnalysisError(ReproError):
 class PerfError(ReproError):
     """The benchmark-telemetry subsystem could not run or load an artifact
     (bad schema, incompatible artifacts, missing bench registry)."""
+
+
+class SimSanError(ReproError):
+    """The runtime sanitizer detected mutation-after-schedule aliasing:
+    a buffer captured by a scheduled callback changed between schedule
+    time and dispatch time (see :mod:`repro.analysis.simsan`)."""

@@ -3,22 +3,63 @@
 Everything in :mod:`repro.netsim` — link serialization, propagation,
 router forwarding, multipath skew — is expressed as callbacks scheduled
 on one :class:`EventLoop`.  Simulated time is a float in seconds.
+
+The loop exposes a narrow observer seam (:class:`ScheduleObserver`,
+:func:`set_schedule_observer`) used by the opt-in runtime sanitizer
+:mod:`repro.analysis.simsan`: each schedule and each dispatch is
+reported with the event's ``(time, seq)`` identity so the sanitizer can
+fingerprint payload buffers and audit the schedule stream.  The seam is
+a plain module-level hook — this module never imports the analysis
+layer (the layering pass enforces that direction), and with no observer
+installed the cost is one ``is None`` test per event.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable
+from typing import Callable, Protocol
 
 from repro.obs import counter
 
-__all__ = ["EventLoop"]
+__all__ = [
+    "EventLoop",
+    "ScheduleObserver",
+    "set_schedule_observer",
+    "get_schedule_observer",
+]
 
 _OBS_EVENTS = counter("netsim", "loop.events_processed", "event-loop callbacks run")
 _OBS_SIM_TIME = counter(
     "netsim", "loop.sim_time_total", "simulated seconds advanced across run() calls"
 )
+
+
+class ScheduleObserver(Protocol):
+    """Observer seam for :mod:`repro.analysis.simsan`."""
+
+    def on_schedule(
+        self, loop: "EventLoop", time: float, seq: int, callback: Callable[[], None]
+    ) -> None:
+        """Called when *callback* is enqueued for *time*."""
+
+    def on_dispatch(
+        self, loop: "EventLoop", time: float, seq: int, callback: Callable[[], None]
+    ) -> None:
+        """Called immediately before *callback* runs."""
+
+
+_observer: ScheduleObserver | None = None
+
+
+def set_schedule_observer(observer: ScheduleObserver | None) -> None:
+    """Install (or, with ``None``, remove) the global schedule observer."""
+    global _observer
+    _observer = observer
+
+
+def get_schedule_observer() -> ScheduleObserver | None:
+    return _observer
 
 
 class EventLoop:
@@ -40,7 +81,10 @@ class EventLoop:
         """Run *callback* at absolute simulated *time*."""
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
-        heapq.heappush(self._queue, (time, next(self._counter), callback))
+        seq = next(self._counter)
+        if _observer is not None:
+            _observer.on_schedule(self, time, seq, callback)
+        heapq.heappush(self._queue, (time, seq, callback))
 
     def run(self, until: float | None = None) -> float:
         """Process events (optionally only up to time *until*).
@@ -50,7 +94,7 @@ class EventLoop:
         started = self.now
         try:
             while self._queue:
-                time, _seq, callback = self._queue[0]
+                time, seq, callback = self._queue[0]
                 if until is not None and time > until:
                     self.now = until
                     return self.now
@@ -58,6 +102,8 @@ class EventLoop:
                 self.now = time
                 self._processed += 1
                 _OBS_EVENTS.inc()
+                if _observer is not None:
+                    _observer.on_dispatch(self, time, seq, callback)
                 callback()
             return self.now
         finally:

@@ -1,0 +1,29 @@
+"""Fixture: scheduled callbacks mutating module-level shared state."""
+
+__all__ = ["schedule_leak", "schedule_count", "schedule_ok"]
+
+SHARED_LOG: list = []
+EVENTS = 0
+
+
+def schedule_leak(loop, frame):
+    # TP: the lambda closes over and mutates a module-level list.
+    loop.schedule(0.1, lambda: SHARED_LOG.append(frame))
+
+
+def schedule_count(loop):
+    def bump():
+        global EVENTS
+        EVENTS += 1  # TP: rebinding a module global from a callback
+
+    loop.schedule(0.2, bump)
+
+
+def schedule_ok(loop, sink):
+    state = {"n": 0}
+
+    def tick():
+        state["n"] += 1  # near-miss: per-call closure state, not shared
+        sink.frames.append(state["n"])  # near-miss: the caller's own object
+
+    loop.schedule(0.3, tick)

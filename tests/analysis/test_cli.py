@@ -56,6 +56,10 @@ class TestRealTree:
             "determinism",
             "exception-discipline",
             "export-drift",
+            "hot-path-copy",
+            "layering",
+            "mutable-sharing",
+            "rng-flow",
             "wire-width",
         ]
 
@@ -77,6 +81,10 @@ class TestFixtures:
             "determinism",
             "exception-discipline",
             "export-drift",
+            "layering",
+            "rng-flow",
+            "hot-path-copy",
+            "mutable-sharing",
         }
 
     def test_select_limits_passes(self):
@@ -129,7 +137,7 @@ class TestBaselineFile:
 
 
 class TestListPasses:
-    def test_lists_all_five(self):
+    def test_lists_all_nine(self):
         result = run_protolint("--list-passes")
         assert result.returncode == 0
         for pass_id in (
@@ -138,5 +146,69 @@ class TestListPasses:
             "determinism",
             "exception-discipline",
             "export-drift",
+            "layering",
+            "rng-flow",
+            "hot-path-copy",
+            "mutable-sharing",
         ):
             assert pass_id in result.stdout
+
+
+class TestGithubFormat:
+    def test_real_tree_emits_no_annotations(self):
+        result = run_protolint("--strict", "--format", "github")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "::error" not in result.stdout
+        assert "protolint: 0 finding(s)" in result.stdout
+
+    def test_fixtures_emit_annotations_and_exit_nonzero(self):
+        result = run_protolint("--format", "github", str(FIXTURES))
+        assert result.returncode == 1
+        lines = [ln for ln in result.stdout.splitlines() if ln.startswith("::")]
+        assert lines, result.stdout
+        # Every annotation carries the file/line/title triple GitHub
+        # needs to anchor it on the PR diff.
+        for line in lines:
+            assert line.startswith(("::error file=", "::warning file="))
+            assert ",line=" in line
+            assert "title=protolint[" in line
+
+    def test_newlines_in_messages_are_escaped(self):
+        from repro.analysis.cli import _render_github
+        from repro.analysis.core import Finding
+
+        finding = Finding(
+            pass_id="wire-width",
+            path="x.py",
+            line=3,
+            message="a 100% broken\nmulti-line message",
+            symbol="s",
+        )
+        rendered = _render_github([finding])
+        assert "a 100%25 broken%0Amulti-line message" in rendered
+        assert "\nmulti-line" not in rendered
+
+
+class TestCheckBaseline:
+    def test_fresh_baseline_exits_zero(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write = run_protolint(str(FIXTURES), "--baseline", str(baseline), "--write-baseline")
+        assert write.returncode == 0, write.stdout + write.stderr
+        check = run_protolint(str(FIXTURES), "--baseline", str(baseline), "--check-baseline")
+        assert check.returncode == 0, check.stdout + check.stderr
+        assert "baseline ok" in check.stdout
+
+    def test_stale_baseline_exits_nonzero(self, tmp_path):
+        # Baseline captured over the fixtures, then checked against the
+        # clean real tree: every entry is stale.
+        baseline = tmp_path / "baseline.json"
+        write = run_protolint(str(FIXTURES), "--baseline", str(baseline), "--write-baseline")
+        assert write.returncode == 0, write.stdout + write.stderr
+        check = run_protolint("--baseline", str(baseline), "--check-baseline")
+        assert check.returncode == 1
+        assert "stale baseline entry" in check.stdout
+
+    def test_shipped_empty_baseline_is_trivially_fresh(self):
+        check = run_protolint("--check-baseline")
+        assert check.returncode == 0, check.stdout + check.stderr
+        assert "baseline ok" in check.stdout

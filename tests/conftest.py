@@ -11,6 +11,31 @@ from repro.core.chunk import Chunk
 from repro.core.tuples import FramingTuple
 from repro.core.types import WORD_BYTES, ChunkType
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--simsan",
+        action="store_true",
+        default=False,
+        help="run the whole suite under the repro.analysis.simsan "
+        "event-loop sanitizer (also enabled by REPRO_SIMSAN=1)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    from repro.analysis import simsan
+
+    if config.getoption("--simsan") or simsan.enabled_by_env():
+        simsan.install()
+        config._repro_simsan_installed = True  # type: ignore[attr-defined]
+
+
+def pytest_unconfigure(config: pytest.Config) -> None:
+    if getattr(config, "_repro_simsan_installed", False):
+        from repro.analysis import simsan
+
+        simsan.uninstall()
+
 try:
     from hypothesis import settings as _hypothesis_settings
 
