@@ -3,6 +3,22 @@ space and video frame placement — both able to consume disordered data.
 """
 
 from repro.app.bulk import BulkTransferApp
+from repro.app.concurrent import (
+    ConcurrentWorkload,
+    ConversationOutcome,
+    ConversationSpec,
+    deterministic_payload,
+    staggered_specs,
+)
 from repro.app.video import PlayoutRecord, VideoPlayoutApp
 
-__all__ = ["BulkTransferApp", "VideoPlayoutApp", "PlayoutRecord"]
+__all__ = [
+    "BulkTransferApp",
+    "VideoPlayoutApp",
+    "PlayoutRecord",
+    "ConcurrentWorkload",
+    "ConversationOutcome",
+    "ConversationSpec",
+    "deterministic_payload",
+    "staggered_specs",
+]

@@ -23,6 +23,8 @@ __all__ = [
     "AnalysisError",
     "PerfError",
     "SimSanError",
+    "EndpointError",
+    "BudgetExceededError",
 ]
 
 
@@ -97,3 +99,23 @@ class SimSanError(ReproError):
     """The runtime sanitizer detected mutation-after-schedule aliasing:
     a buffer captured by a scheduled callback changed between schedule
     time and dispatch time (see :mod:`repro.analysis.simsan`)."""
+
+
+class EndpointError(ReproError):
+    """A multiplexed endpoint operation is invalid: opening a connection
+    whose C.ID is already in use, sending on a closed or evicted
+    connection, or exceeding the endpoint's connection capacity."""
+
+
+class BudgetExceededError(ReproError, ValueError):
+    """A placement was refused by the shared pool (fair share or pool
+    exhaustion) rather than by a per-buffer bound.
+
+    Also a ``ValueError`` so existing placement callers treat it as the
+    chunk rejection they already handle — but distinguishable: a
+    budget-refused chunk must *not* feed TPDU verification, or the TPDU
+    would verify and be acknowledged without its bytes ever landing
+    (silent, unrecoverable loss).  Left unverified, the sender's normal
+    retransmission retries the placement — which may succeed once pool
+    pressure eases — or gives up visibly.
+    """

@@ -4,6 +4,7 @@ reassemble), Integrated Layer Processing, and application address-space
 placement (spatial reordering).
 """
 
+from repro.host.budget import BudgetExceededError, SharedPlacementBudget
 from repro.host.delivery import FrameStore, PlacementBuffer
 from repro.host.ilp import (
     IlpResult,
@@ -28,6 +29,8 @@ from repro.host.receiver import (
 __all__ = [
     "TouchLedger",
     "BusModel",
+    "SharedPlacementBudget",
+    "BudgetExceededError",
     "ProcessingUnit",
     "TypeDemux",
     "parallel_split",

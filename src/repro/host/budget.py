@@ -1,0 +1,131 @@
+"""Shared receive-memory accounting across concurrent connections.
+
+One multiplexed endpoint hosts many conversations, but the receiving
+host has one memory pool.  A per-buffer ``limit_bytes`` cannot express
+that: the first connection to grow can take the whole pool and lock the
+others out — the Turner lock-up story [TURN 92] replayed at connection
+granularity.  :class:`SharedPlacementBudget` replaces per-buffer limits
+with one pool plus a *fair-share cap*: a connection may reserve at most
+``pool_bytes / registered_connections`` (never less than
+``min_share_bytes``), so an over-claiming conversation is refused while
+every other conversation keeps its share.  Refusals are counted, never
+blocking — the refused placement surfaces as a rejected chunk whose
+TPDU simply never verifies, and the sender's normal loss recovery (or
+give-up) handles it.
+
+Reservations are made as placement regions *grow* (fresh allocation,
+not re-writes) and returned wholesale when a connection's state is
+reclaimed (close or idle eviction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import BudgetExceededError
+from repro.obs import counter, gauge
+
+__all__ = ["BudgetExceededError", "SharedPlacementBudget"]
+
+_OBS_RESERVED = gauge(
+    "host", "budget.reserved_bytes", "bytes reserved from the shared placement pool"
+)
+_OBS_REFUSALS = counter(
+    "host", "budget.refusals", "placement reservations refused (pool or fair share)"
+)
+_OBS_RECLAIMED = counter(
+    "host", "budget.reclaimed_bytes", "bytes returned to the pool by state reclamation"
+)
+
+
+@dataclass
+class SharedPlacementBudget:
+    """One memory pool shared by every connection of an endpoint.
+
+    Attributes:
+        pool_bytes: total bytes the endpoint may dedicate to placement
+            regions across all connections.
+        min_share_bytes: floor on the per-connection fair-share cap, so
+            a burst of tiny registrations cannot starve every
+            connection below a useful region size.
+    """
+
+    pool_bytes: int = 256 * 1024 * 1024
+    min_share_bytes: int = 64 * 1024
+
+    _reserved: dict[object, int] = field(default_factory=dict)
+    reserved_total: int = 0
+    peak_reserved: int = 0
+    refusals: int = 0
+    refused_keys: set[object] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def registered(self) -> int:
+        """Connections currently drawing from the pool."""
+        return len(self._reserved)
+
+    def fair_share(self) -> int:
+        """The per-connection reservation cap at the current occupancy."""
+        if not self._reserved:
+            return self.pool_bytes
+        return max(self.pool_bytes // len(self._reserved), self.min_share_bytes)
+
+    def register(self, key: object) -> bool:
+        """Admit *key* to the pool; False when even a minimum share
+        cannot be promised (the endpoint refuses the connection)."""
+        if key in self._reserved:
+            return True
+        if (len(self._reserved) + 1) * self.min_share_bytes > self.pool_bytes:
+            self.refusals += 1
+            self.refused_keys.add(key)
+            _OBS_REFUSALS.inc()
+            return False
+        self._reserved[key] = 0
+        return True
+
+    def reserve(self, key: object, nbytes: int) -> bool:
+        """Reserve *nbytes* of fresh placement region for *key*.
+
+        Refuses (returns False, counts) when the pool is exhausted or
+        the connection would exceed its fair share; never blocks.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative reservation {nbytes}")
+        held = self._reserved.get(key)
+        if held is None:
+            if not self.register(key):
+                return False
+            held = 0
+        if (
+            held + nbytes > self.fair_share()
+            or self.reserved_total + nbytes > self.pool_bytes
+        ):
+            self.refusals += 1
+            self.refused_keys.add(key)
+            _OBS_REFUSALS.inc()
+            return False
+        self._reserved[key] = held + nbytes
+        self.reserved_total += nbytes
+        if self.reserved_total > self.peak_reserved:
+            self.peak_reserved = self.reserved_total
+        _OBS_RESERVED.set(self.reserved_total)
+        return True
+
+    def release(self, key: object) -> int:
+        """Return every byte *key* holds to the pool (state reclamation);
+        returns the count freed."""
+        freed = self._reserved.pop(key, 0)
+        self.reserved_total -= freed
+        _OBS_RESERVED.set(self.reserved_total)
+        _OBS_RECLAIMED.inc(freed)
+        return freed
+
+    def held(self, key: object) -> int:
+        """Bytes currently reserved by *key*."""
+        return self._reserved.get(key, 0)
+
+    def was_refused(self, key: object) -> bool:
+        """True if *key* ever had a registration or reservation refused."""
+        return key in self.refused_keys

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.intervals import IntervalSet
+from repro.core.errors import BudgetExceededError
+from repro.host.budget import SharedPlacementBudget
 
 __all__ = ["PlacementBuffer", "FrameStore"]
 
@@ -28,10 +30,18 @@ class PlacementBuffer:
     corrupted sequence number must not be able to demand a petabyte
     allocation (callers treat the raised :class:`ValueError` as chunk
     rejection, and the end-to-end verifier catches the corruption).
+
+    When the buffer belongs to a multiplexed endpoint, *budget* replaces
+    the solitary ``limit_bytes``: region growth reserves bytes from the
+    endpoint's :class:`~repro.host.budget.SharedPlacementBudget` under
+    *budget_key* (the C.ID), and a refused reservation raises the same
+    :class:`ValueError` the callers already treat as chunk rejection.
     """
 
     total_bytes: int | None = None
     limit_bytes: int | None = 256 * 1024 * 1024
+    budget: SharedPlacementBudget | None = None
+    budget_key: object = None
     _data: bytearray = field(default_factory=bytearray)
     _received: IntervalSet = field(default_factory=IntervalSet)
     bytes_placed: int = 0
@@ -52,7 +62,15 @@ class PlacementBuffer:
                 f"region limit (corrupted sequence number?)"
             )
         if len(self._data) < end:
-            self._data.extend(b"\x00" * (end - len(self._data)))
+            growth = end - len(self._data)
+            if self.budget is not None and not self.budget.reserve(
+                self.budget_key, growth
+            ):
+                raise BudgetExceededError(
+                    f"write [{offset}, {end}) refused by the shared placement "
+                    f"budget (key={self.budget_key!r})"
+                )
+            self._data.extend(b"\x00" * growth)
         self._data[offset:end] = data
         fresh = self._received.add(offset, end)
         self.bytes_placed += fresh
@@ -92,6 +110,10 @@ class FrameStore:
     completed: list[int] = field(default_factory=list)
     max_frames: int = 4096
     frame_limit_bytes: int | None = 64 * 1024 * 1024
+    #: shared pool the per-frame buffers draw from (endpoint-owned
+    #: stores); ``None`` keeps the standalone per-frame limit alone.
+    budget: SharedPlacementBudget | None = None
+    budget_key: object = None
 
     def place(
         self,
@@ -114,7 +136,12 @@ class FrameStore:
                 f"(corrupted X.ID?)"
             )
         buffer = self.frames.setdefault(
-            frame_id, PlacementBuffer(limit_bytes=self.frame_limit_bytes)
+            frame_id,
+            PlacementBuffer(
+                limit_bytes=self.frame_limit_bytes,
+                budget=self.budget,
+                budget_key=self.budget_key,
+            ),
         )
         buffer.place(offset, data)
         if last:

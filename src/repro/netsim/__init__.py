@@ -6,6 +6,11 @@ scenario of Section 1); and chunk-aware fragmenting routers implementing
 the three Figure 4 re-enveloping strategies.
 """
 
+from repro.netsim.bottleneck import (
+    BottleneckPort,
+    SharedBottleneck,
+    build_shared_bottleneck,
+)
 from repro.netsim.events import EventLoop
 from repro.netsim.link import Link, LinkStats
 from repro.netsim.multipath import MultipathChannel, aurora_stripe
@@ -36,4 +41,7 @@ __all__ = [
     "build_chunk_path",
     "ArrivalRecord",
     "ReceiverTrace",
+    "BottleneckPort",
+    "SharedBottleneck",
+    "build_shared_bottleneck",
 ]

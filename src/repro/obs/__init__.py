@@ -54,6 +54,9 @@ from repro.obs.runtime import (
     gauge,
     histogram,
     install,
+    labelled_counter,
+    labelled_gauge,
+    labelled_name,
     session,
     timer,
     tracer,
@@ -82,6 +85,9 @@ __all__ = [
     "histogram",
     "timer",
     "tracer",
+    "labelled_name",
+    "labelled_counter",
+    "labelled_gauge",
     "install",
     "uninstall",
     "session",

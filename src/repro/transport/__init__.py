@@ -9,6 +9,13 @@ from repro.transport.connection import (
     parse_signaling_chunk,
 )
 from repro.transport.acks import build_ack_chunk, parse_ack_chunk, piggyback
+from repro.transport.endpoint import (
+    ChunkEndpoint,
+    Connection,
+    ConnectionState,
+    ConnectionTable,
+    EndpointEvents,
+)
 from repro.transport.receiver import ChunkTransportReceiver, ReceiverEvents
 from repro.transport.reliability import (
     AdaptiveTpduPolicy,
@@ -30,4 +37,9 @@ __all__ = [
     "ReliableSender",
     "ReliableReceiver",
     "AdaptiveTpduPolicy",
+    "ChunkEndpoint",
+    "Connection",
+    "ConnectionState",
+    "ConnectionTable",
+    "EndpointEvents",
 ]

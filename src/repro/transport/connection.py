@@ -28,6 +28,7 @@ __all__ = ["ConnectionConfig", "build_signaling_chunk", "parse_signaling_chunk"]
 _SIG = struct.Struct(">IHHHBB")  # conn id, unit words, tpdu units, flags, 2 reserved
 _SIG_MAGIC_FLAGS_IMPLICIT_TID = 0x0001
 _SIG_MAGIC_FLAGS_REGEN_SNS = 0x0002
+_SIG_KNOWN_FLAGS = _SIG_MAGIC_FLAGS_IMPLICIT_TID | _SIG_MAGIC_FLAGS_REGEN_SNS
 
 
 @dataclass(frozen=True)
@@ -102,14 +103,28 @@ def build_signaling_chunk(config: ConnectionConfig) -> Chunk:
 
 
 def parse_signaling_chunk(chunk: Chunk) -> ConnectionConfig:
-    """Recover the signaled parameters from an establishment chunk."""
+    """Recover the signaled parameters from an establishment chunk.
+
+    Strict by design: reserved bytes must be zero and no unknown flag
+    bits may be set.  A corrupted establishment must fail loudly here —
+    silently accepting it would install wrong per-connection SIZE/TPDU
+    parameters and mis-place every subsequent chunk of the conversation.
+    """
     if chunk.type is not ChunkType.SIGNALING:
         raise SignalingError(f"not a signaling chunk: TYPE={chunk.type.name}")
     if len(chunk.payload) < _SIG.size:
         raise SignalingError("signaling payload too short")
-    conn_id, unit_words, tpdu_units, flags, _r1, _r2 = _SIG.unpack_from(
+    conn_id, unit_words, tpdu_units, flags, reserved1, reserved2 = _SIG.unpack_from(
         chunk.payload, 0
     )
+    if reserved1 or reserved2:
+        raise SignalingError(
+            f"nonzero reserved signaling bytes ({reserved1:#04x}, {reserved2:#04x})"
+        )
+    if flags & ~_SIG_KNOWN_FLAGS:
+        raise SignalingError(
+            f"unknown signaling flag bits {flags & ~_SIG_KNOWN_FLAGS:#06x}"
+        )
     return ConnectionConfig(
         connection_id=conn_id,
         unit_words=unit_words,

@@ -16,12 +16,14 @@ No payload byte is ever buffered waiting for other packets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.chunk import Chunk
 from repro.core.errors import CodecError, SignalingError
 from repro.core.packet import Packet
 from repro.core.types import ChunkType
 from repro.core.virtual import VirtualReassembler
+from repro.core.errors import BudgetExceededError
 from repro.host.delivery import FrameStore, PlacementBuffer
 from repro.obs import counter, histogram
 from repro.transport.connection import ConnectionConfig, parse_signaling_chunk
@@ -37,6 +39,21 @@ _OBS_REJECTED = counter(
 )
 _OBS_DECODE_FAILURES = counter(
     "transport", "receiver.decode_failures", "undecodable wire packets"
+)
+_OBS_UNKNOWN_TYPE = counter(
+    "transport",
+    "receiver.unknown_type_chunks",
+    "chunks of a TYPE this receiver does not process",
+)
+_OBS_SIGNALING_REJECTED = counter(
+    "transport",
+    "receiver.signaling_rejected",
+    "malformed establishment chunks refused",
+)
+_OBS_BUDGET_REFUSED = counter(
+    "transport",
+    "receiver.budget_refused_chunks",
+    "chunks whose placement the shared budget refused (not acknowledged)",
 )
 _OBS_OOO_DISTANCE = histogram(
     "transport",
@@ -60,6 +77,10 @@ class ReceiverEvents:
     completed_frames: list[int] = field(default_factory=list)
     connection_closed: bool = False
     decode_failed: bool = False
+    #: the decoded chunks (filled by :meth:`receive_packet` so callers
+    #: that need chunk-level context — ACK re-emission, endpoint demux —
+    #: never decode the frame a second time).
+    chunks: list[Chunk] = field(default_factory=list)
 
 
 @dataclass
@@ -81,6 +102,17 @@ class ChunkTransportReceiver:
     #: chunks whose placement was refused (absurd offsets from corrupted
     #: SNs); the verifier still sees them, so the TPDU is rejected.
     rejected_placements: int = 0
+    #: chunks whose TYPE this receiver has no handler for (e.g. an ACK
+    #: that strayed onto the forward path, or a future control type) —
+    #: dropped, but counted rather than silently.
+    unknown_type_chunks: int = 0
+    #: malformed establishment chunks refused by the strict parser.
+    signaling_rejected: int = 0
+    #: chunks the shared placement budget refused.  Deliberately *not*
+    #: fed to the verifier: an acknowledged-but-unplaced TPDU would be
+    #: silent data loss, so the TPDU stays pending and the sender's
+    #: retransmission retries (or gives up) instead.
+    budget_refused_chunks: int = 0
     closed: bool = False
     #: the in-order arrival frontier (next C.SN if nothing reordered);
     #: feeds the out-of-order distance histogram.
@@ -97,6 +129,7 @@ class ChunkTransportReceiver:
             events.decode_failed = True
             _OBS_DECODE_FAILURES.inc()
             return events
+        events.chunks = packet.chunks
         for chunk in packet.chunks:
             self._receive_chunk(chunk, events)
         return events
@@ -105,6 +138,20 @@ class ChunkTransportReceiver:
         """Process one already-decoded chunk (router-less test paths)."""
         events = ReceiverEvents()
         self._receive_chunk(chunk, events)
+        return events
+
+    def receive_chunks(self, chunks: Iterable[Chunk]) -> ReceiverEvents:
+        """Process a batch of already-decoded chunks.
+
+        The endpoint demux path: a multiplexed packet is decoded once by
+        the endpoint, and each connection's receiver sees only its own
+        chunks — possibly interleaved with other conversations' chunks
+        in the same envelope.
+        """
+        events = ReceiverEvents()
+        events.chunks = list(chunks)
+        for chunk in events.chunks:
+            self._receive_chunk(chunk, events)
         return events
 
     # ------------------------------------------------------------------
@@ -119,6 +166,8 @@ class ChunkTransportReceiver:
             events.verdicts.extend(self.verifier.receive(chunk))
             return
         if chunk.type is not ChunkType.DATA:
+            self.unknown_type_chunks += 1
+            _OBS_UNKNOWN_TYPE.inc()
             return
 
         _OBS_OOO_DISTANCE.observe(abs(chunk.c.sn - self._frontier_sn))
@@ -136,6 +185,10 @@ class ChunkTransportReceiver:
             else:
                 _OBS_DATA_TOUCHES.inc()
                 _OBS_DATA_TOUCH_BYTES.inc(fresh)
+        except BudgetExceededError:
+            self.budget_refused_chunks += 1
+            _OBS_BUDGET_REFUSED.inc()
+            return  # unacknowledged: retransmission retries the placement
         except ValueError:
             self.rejected_placements += 1
             _OBS_REJECTED.inc()
@@ -148,6 +201,10 @@ class ChunkTransportReceiver:
             )
             if frame_done:
                 events.completed_frames.append(chunk.x.ident)
+        except BudgetExceededError:
+            self.budget_refused_chunks += 1
+            _OBS_BUDGET_REFUSED.inc()
+            return
         except ValueError:
             self.rejected_placements += 1
             _OBS_REJECTED.inc()
@@ -165,6 +222,8 @@ class ChunkTransportReceiver:
         try:
             config = parse_signaling_chunk(chunk)
         except SignalingError:
+            self.signaling_rejected += 1
+            _OBS_SIGNALING_REJECTED.inc()
             return
         if self.config is None:
             self.config = config

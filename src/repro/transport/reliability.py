@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.chunk import Chunk
+from repro.core.errors import ChunkError
 from repro.core.packet import pack_chunks
 from repro.core.types import ChunkType
 from repro.netsim.events import EventLoop
@@ -84,13 +85,22 @@ class ReliableSender:
 
     Attributes:
         loop: the simulation event loop used for retransmission timers.
-        transmit: callable taking wire bytes (the network's ingress).
+        transmit: callable taking wire bytes (the network's ingress);
+            may be ``None`` when *transmit_chunks* is supplied instead.
         config: connection parameters (also produces the establishment
             signaling chunk, sent with the first frame).
         mtu: first-hop MTU for packing.
         rto: retransmission timeout in seconds (doubles per retry).
         max_retries: give-up threshold per TPDU.
         policy: optional adaptive TPDU sizing.
+        transmit_chunks: endpoint seam — when set, outgoing chunks are
+            handed over un-packed so the owning
+            :class:`~repro.transport.endpoint.ChunkEndpoint` can mix
+            several conversations' chunks into shared packets.
+        resignal_until_acked: re-emit the establishment chunk with every
+            retransmission until the first ACK arrives, so a lost
+            signaling packet cannot strand the whole conversation
+            behind the receiver's unknown-C.ID refusal.
 
     Retransmission timers cover *completed* TPDUs (those whose ED chunk
     exists); data in a not-yet-complete trailing TPDU is unprotected
@@ -100,16 +110,19 @@ class ReliableSender:
     """
 
     loop: EventLoop
-    transmit: Callable[[bytes], None]
+    transmit: Callable[[bytes], None] | None
     config: ConnectionConfig
     mtu: int = 1500
     rto: float = 0.05
     max_retries: int = 12
     policy: AdaptiveTpduPolicy | None = None
+    transmit_chunks: Callable[[list[Chunk]], None] | None = None
+    resignal_until_acked: bool = False
 
     sender: ChunkTransportSender = field(init=False)
     _outstanding: dict[int, _Outstanding] = field(init=False, default_factory=dict)
     _established: bool = field(init=False, default=False)
+    _acked_once: bool = field(init=False, default=False)
     retransmissions: int = field(init=False, default=0)
     bytes_sent: int = field(init=False, default=0)
     gave_up: list[int] = field(init=False, default_factory=list)
@@ -143,6 +156,7 @@ class ReliableSender:
 
     def handle_ack_chunk(self, chunk: Chunk) -> None:
         """Process an arriving ACK chunk (possibly piggybacked)."""
+        self._acked_once = True
         for t_id in parse_ack_chunk(chunk):
             _OBS_ACKS_RECEIVED.inc()
             if t_id in self._outstanding:
@@ -162,6 +176,11 @@ class ReliableSender:
     # ------------------------------------------------------------------
 
     def _ship(self, chunks: list[Chunk]) -> None:
+        if self.transmit_chunks is not None:
+            self.transmit_chunks(chunks)
+            return
+        if self.transmit is None:
+            raise ChunkError("ReliableSender needs transmit or transmit_chunks")
         for packet in pack_chunks(chunks, self.mtu):
             frame = packet.encode()
             self.bytes_sent += len(frame)
@@ -195,7 +214,10 @@ class ReliableSender:
         if self.policy is not None:
             self._resize(self.policy.on_loss())
         # Same identifiers as the original transmission (Section 3.3).
-        self._ship(self.sender.retransmit(t_id))
+        chunks = self.sender.retransmit(t_id)
+        if self.resignal_until_acked and not self._acked_once:
+            chunks.insert(0, self.sender.establishment_chunk())
+        self._ship(chunks)
         self._arm(t_id)
 
     def _resize(self, units: int) -> None:
@@ -213,24 +235,41 @@ class ReliableReceiver:
     *reverse_chunks* at ack time via :meth:`flush_acks`.
     """
 
-    transmit: Callable[[bytes], None]
+    transmit: Callable[[bytes], None] | None
     mtu: int = 1500
     receiver: ChunkTransportReceiver = field(default_factory=ChunkTransportReceiver)
+    #: endpoint seam — when set, ACK chunks are handed over un-packed so
+    #: the endpoint can mix acknowledgments for several conversations
+    #: (and reverse-path data) into shared packets.
+    transmit_chunks: Callable[[list[Chunk]], None] | None = None
     acks_sent: int = field(init=False, default=0)
     _verified: set[int] = field(init=False, default_factory=set)
 
     def receive_packet(self, frame: bytes) -> ReceiverEvents:
         events = self.receiver.receive_packet(frame)
+        self._acknowledge(events)
+        return events
+
+    def receive_chunks(self, chunks: list[Chunk]) -> ReceiverEvents:
+        """Endpoint demux path: this connection's slice of a packet."""
+        events = self.receiver.receive_chunks(chunks)
+        self._acknowledge(events)
+        return events
+
+    def _acknowledge(self, events: ReceiverEvents) -> None:
         to_ack = [v.t_id for v in events.verdicts if v.ok]
         # Re-acknowledge retransmissions of already verified TPDUs,
-        # whose verdicts fired earlier.
-        for chunk in self._tpdus_seen_again(frame):
-            if chunk in self._verified and chunk not in to_ack:
-                to_ack.append(chunk)
+        # whose verdicts fired earlier (the original ACK may be lost).
+        for chunk in events.chunks:
+            if (
+                chunk.type is ChunkType.ERROR_DETECTION
+                and chunk.t.ident in self._verified
+                and chunk.t.ident not in to_ack
+            ):
+                to_ack.append(chunk.t.ident)
         if to_ack:
             self._verified.update(to_ack)
             self.flush_acks(to_ack)
-        return events
 
     def flush_acks(self, t_ids: list[int], reverse_chunks: list[Chunk] | None = None) -> None:
         connection = self.receiver.config.connection_id if self.receiver.config else 0
@@ -239,20 +278,11 @@ class ReliableReceiver:
         chunks = list(reverse_chunks or [])
         for start in range(0, len(t_ids), 64):
             chunks.append(build_ack_chunk(connection, t_ids[start : start + 64]))
+        if self.transmit_chunks is not None:
+            self.transmit_chunks(chunks)
+            return
+        if self.transmit is None:
+            raise ChunkError("ReliableReceiver needs transmit or transmit_chunks")
         for packet in pack_chunks(chunks, self.mtu):
             self.acks_sent += 1
             self.transmit(packet.encode())
-
-    def _tpdus_seen_again(self, frame: bytes) -> list[int]:
-        from repro.core.errors import CodecError
-        from repro.core.packet import Packet
-
-        try:
-            packet = Packet.decode(frame)
-        except CodecError:
-            return []
-        return [
-            c.t.ident
-            for c in packet.chunks
-            if c.type is ChunkType.ERROR_DETECTION and c.t.ident in self._verified
-        ]

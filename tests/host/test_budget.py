@@ -1,0 +1,117 @@
+"""SharedPlacementBudget: fair shares, refusal-not-blocking, reclamation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host.budget import BudgetExceededError, SharedPlacementBudget
+from repro.host.delivery import FrameStore, PlacementBuffer
+
+
+def test_empty_pool_offers_everything():
+    budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+    assert budget.registered == 0
+    assert budget.fair_share() == 1000
+
+
+def test_fair_share_divides_pool_with_floor():
+    budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+    for key in range(4):
+        assert budget.register(key)
+    assert budget.fair_share() == 250
+    for key in range(4, 9):
+        assert budget.register(key)
+    # 1000 // 9 = 111 > floor; add one more and the floor kicks in.
+    assert budget.fair_share() == max(1000 // 9, 100)
+    assert budget.register(9)
+    assert budget.fair_share() == 100
+
+
+def test_register_refuses_when_min_shares_exceed_pool():
+    budget = SharedPlacementBudget(pool_bytes=300, min_share_bytes=100)
+    assert budget.register("a")
+    assert budget.register("b")
+    assert budget.register("c")
+    assert not budget.register("d")
+    assert budget.refusals == 1
+    assert budget.was_refused("d")
+    # Registration is idempotent for admitted keys.
+    assert budget.register("a")
+
+
+def test_reserve_enforces_fair_share_and_pool():
+    budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+    assert budget.register("a")
+    assert budget.register("b")
+    assert budget.reserve("a", 400)
+    assert not budget.reserve("a", 200)  # 600 > fair share 500
+    assert budget.reserve("b", 500)
+    assert budget.reserved_total == 900
+    assert budget.peak_reserved == 900
+    assert budget.held("a") == 400
+    assert budget.refusals == 1
+
+
+def test_reserve_auto_registers():
+    budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+    assert budget.reserve("fresh", 250)
+    assert budget.registered == 1
+    assert budget.held("fresh") == 250
+
+
+def test_release_reclaims_and_reopens_shares():
+    budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+    budget.reserve("a", 500)
+    budget.reserve("b", 400)
+    assert not budget.reserve("b", 200)  # pool nearly full
+    assert budget.release("a") == 500
+    assert budget.reserved_total == 400
+    assert budget.reserve("b", 200)  # b's share grew after a left
+    assert budget.release("missing") == 0
+
+
+def test_negative_reservation_rejected():
+    budget = SharedPlacementBudget()
+    with pytest.raises(ValueError):
+        budget.reserve("a", -1)
+
+
+def test_placement_buffer_draws_from_budget():
+    budget = SharedPlacementBudget(pool_bytes=1024, min_share_bytes=64)
+    buffer = PlacementBuffer(limit_bytes=None, budget=budget, budget_key=7)
+    assert buffer.place(0, b"x" * 512) == 512
+    assert budget.held(7) == 512
+    with pytest.raises(BudgetExceededError):
+        buffer.place(512, b"y" * 1024)
+    # Rewrites of already-grown region need no new reservation.
+    assert buffer.place(0, b"z" * 512) == 0
+    assert budget.held(7) == 512
+
+
+def test_budget_refusal_is_a_value_error_subclass():
+    # Callers that treat placement failures as chunk rejection keep
+    # working unchanged.
+    assert issubclass(BudgetExceededError, ValueError)
+
+
+def test_frame_store_buffers_share_the_budget_key():
+    budget = SharedPlacementBudget(pool_bytes=4096, min_share_bytes=64)
+    store = FrameStore(budget=budget, budget_key="conn")
+    store.place(1, 0, b"a" * 1024)
+    store.place(2, 0, b"b" * 1024)
+    assert budget.held("conn") == 2048
+    with pytest.raises(BudgetExceededError):
+        store.place(3, 0, b"c" * 4096)
+
+
+def test_two_buffers_one_connection_compete_under_one_key():
+    # The endpoint reserves both the stream region and the frame store
+    # under the connection's C.ID: releasing that key frees everything.
+    budget = SharedPlacementBudget(pool_bytes=8192, min_share_bytes=64)
+    stream = PlacementBuffer(limit_bytes=None, budget=budget, budget_key=5)
+    frames = FrameStore(budget=budget, budget_key=5)
+    stream.place(0, b"s" * 1000)
+    frames.place(0, 0, b"f" * 1000)
+    assert budget.held(5) == 2000
+    assert budget.release(5) == 2000
+    assert budget.reserved_total == 0

@@ -70,3 +70,11 @@ def test_reliable_transfer(capsys):
     out = _run_example("reliable_transfer", capsys)
     assert "byte-exact delivery: True" in out
     assert "gave up: 0" in out
+
+
+@pytest.mark.slow
+def test_many_conversations(capsys):
+    out = _run_example("many_conversations", capsys)
+    assert "byte-exact: 32/32" in out
+    assert "idle sweep evicted 32 connections" in out
+    assert "pool now holds 0" in out

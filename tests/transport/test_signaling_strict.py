@@ -1,0 +1,105 @@
+"""Strict establishment parsing: reserved bytes and unknown flag bits.
+
+A corrupted establishment chunk would install wrong per-connection
+SIZE/TPDU parameters and mis-place every subsequent chunk of the
+conversation, so :func:`parse_signaling_chunk` must fail loudly on any
+payload it does not fully understand.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.core.errors import SignalingError
+from repro.core.chunk import Chunk
+from repro.core.tuples import FramingTuple
+from repro.core.types import ChunkType
+from repro.transport.connection import (
+    ConnectionConfig,
+    build_signaling_chunk,
+    parse_signaling_chunk,
+)
+
+
+def signaling_chunk_with_payload(payload: bytes, connection_id: int = 5) -> Chunk:
+    pad = (-len(payload)) % 4
+    payload += b"\x00" * pad
+    return Chunk(
+        type=ChunkType.SIGNALING,
+        size=1,
+        length=len(payload) // 4,
+        c=FramingTuple(connection_id, 0, False),
+        t=FramingTuple(0, 0, False),
+        x=FramingTuple(0, 0, False),
+        payload=payload,
+    )
+
+
+def raw_signaling(
+    connection_id: int = 5,
+    unit_words: int = 1,
+    tpdu_units: int = 256,
+    flags: int = 0,
+    reserved1: int = 0,
+    reserved2: int = 0,
+) -> Chunk:
+    payload = struct.pack(
+        ">IHHHBB", connection_id, unit_words, tpdu_units, flags, reserved1, reserved2
+    )
+    return signaling_chunk_with_payload(payload, connection_id)
+
+
+def test_well_formed_signaling_parses():
+    config = ConnectionConfig(
+        connection_id=77, unit_words=2, tpdu_units=128,
+        implicit_t_id=True, regenerate_sns=True,
+    )
+    assert parse_signaling_chunk(build_signaling_chunk(config)) == config
+
+
+@pytest.mark.parametrize("reserved", [(1, 0), (0, 1), (0xFF, 0xFF)])
+def test_nonzero_reserved_bytes_rejected(reserved):
+    chunk = raw_signaling(reserved1=reserved[0], reserved2=reserved[1])
+    with pytest.raises(SignalingError, match="reserved"):
+        parse_signaling_chunk(chunk)
+
+
+@pytest.mark.parametrize("flags", [0x0004, 0x8000, 0x0007, 0xFFFC])
+def test_unknown_flag_bits_rejected(flags):
+    chunk = raw_signaling(flags=flags)
+    with pytest.raises(SignalingError, match="flag"):
+        parse_signaling_chunk(chunk)
+
+
+def test_known_flags_still_accepted():
+    config = parse_signaling_chunk(raw_signaling(flags=0x0003))
+    assert config.implicit_t_id and config.regenerate_sns
+
+
+def test_short_payload_rejected():
+    chunk = signaling_chunk_with_payload(b"\x00\x00\x00\x00")
+    with pytest.raises(SignalingError, match="short"):
+        parse_signaling_chunk(chunk)
+
+
+def test_wrong_type_rejected():
+    data = Chunk(
+        type=ChunkType.DATA, size=1, length=1,
+        c=FramingTuple(1, 0, False), t=FramingTuple(0, 0, False),
+        x=FramingTuple(0, 0, False), payload=b"\x00\x00\x00\x00",
+    )
+    with pytest.raises(SignalingError, match="not a signaling chunk"):
+        parse_signaling_chunk(data)
+
+
+def test_receiver_counts_rejections_and_keeps_config_unset():
+    from repro.transport.receiver import ChunkTransportReceiver
+
+    receiver = ChunkTransportReceiver()
+    receiver.receive_chunks([raw_signaling(reserved1=9)])
+    assert receiver.signaling_rejected == 1
+    assert receiver.config is None
+    receiver.receive_chunks([build_signaling_chunk(ConnectionConfig(connection_id=5))])
+    assert receiver.config is not None
