@@ -1,0 +1,47 @@
+"""TOOLING: protolint end-to-end throughput over the real tree.
+
+The static-analysis suite runs on every CI push, so its wall-clock is
+part of the edit-compile-test loop and deserves the same regression
+tracking as the protocol hot paths.  The bench parses a deterministic
+sorted prefix of ``src/repro`` (scaled by ``payload_scale``) and runs
+all thirteen passes — per-module and project-wide, including the CFG
+dataflow walk behind budget-leak — returning the file/pass/finding
+counts as the pinned figures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from _common import register_bench, scaled
+from repro.analysis.core import ModuleUnit, run_passes
+from repro.analysis.passes import all_passes
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _units(payload_scale: float) -> list[ModuleUnit]:
+    files = sorted(REPO_SRC.rglob("*.py"))
+    keep = scaled(len(files), payload_scale, minimum=min(len(files), 8))
+    return [ModuleUnit.from_path(path) for path in files[:keep]]
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: lint the (scaled) real tree with every pass."""
+    units = _units(payload_scale)
+    passes = all_passes()
+    findings = run_passes(units, passes)
+    return {
+        "lint.files": len(units),
+        "lint.passes": len(passes),
+        "lint.findings": len(findings),
+    }
+
+
+def test_full_tree_lint_is_clean(benchmark):
+    units = _units(1.0)
+    passes = all_passes()
+    findings = benchmark(run_passes, units, passes)
+    # The shipped tree carries an empty baseline: zero findings.
+    assert findings == []

@@ -22,8 +22,19 @@ the test suite does:
   allowlist), and never use bare/overbroad ``except``.
 - ``export-drift`` — every ``__all__`` entry exists and every public
   top-level def/class is either exported or underscore-private.
+- ``wire-drift`` — ``struct`` format strings carrying a
+  ``# wire-table:`` marker, the codec docstring's offset table, and the
+  generated block in ``docs/wire-format.md`` all agree with the single
+  header-width table in :mod:`repro.core.wire_table`.
+- ``budget-leak`` — a borrow checker for
+  :class:`~repro.host.budget.SharedPlacementBudget` /
+  :class:`~repro.host.memory.TouchLedger` acquire tokens, built on the
+  per-function control-flow graphs of :mod:`repro.analysis.cfg` and the
+  forward dataflow framework of :mod:`repro.analysis.dataflow`: every
+  ``acquire()`` must reach a ``release()`` or an ownership transfer on
+  *every* path, exception edges included.
 
-Four interprocedural passes run over the whole-program import/call
+Six interprocedural passes run over the whole-program import/call
 graph (:mod:`repro.analysis.graph`):
 
 - ``layering`` — imports follow the architecture DAG of
@@ -36,6 +47,11 @@ graph (:mod:`repro.analysis.graph`):
   touch-once budget.
 - ``mutable-sharing`` — scheduled callbacks never mutate module-level
   shared state.
+- ``seam-purity`` — no ambient OS authority (wall clock, sockets, OS
+  entropy) anywhere reachable from a transport/host/core entry point;
+  only the designated adapter modules may touch the OS.
+- ``async-discipline`` — nothing reachable from a coroutine calls a
+  known-blocking primitive, and coroutine calls are always awaited.
 
 The runtime half is :mod:`repro.analysis.simsan`: an opt-in event-loop
 sanitizer (``REPRO_SIMSAN=1`` / ``pytest --simsan``) that fingerprints

@@ -1,0 +1,532 @@
+"""Per-function control-flow graphs with exception edges.
+
+The per-module passes of PR 1 and the call-graph passes of PR 4 reason
+about *presence* — a banned name, an import edge, a copy idiom.  The
+resource passes of this PR (budget-leak above all) must reason about
+*paths*: a ``SharedPlacementBudget`` lease acquired on line 10 is only
+safe if **every** way out of the function — normal fall-through, early
+return, ``break``, and crucially the exception edge out of any call —
+first releases it or parks it in an owning container.  That question
+needs a control-flow graph.
+
+:func:`build_cfg` lowers one ``ast.FunctionDef`` /
+``ast.AsyncFunctionDef`` into a :class:`CFG` of single-step basic
+blocks:
+
+- every **simple statement** becomes one block, so dataflow transfer
+  functions see exactly one effect at a time and exception edges can
+  carry the precise pre-statement state;
+- ``if`` / ``while`` / ``for`` (with their ``else`` clauses), ``try`` /
+  ``except`` / ``else`` / ``finally``, ``with``, ``match``, ``break`` /
+  ``continue`` / ``return`` / ``raise`` are lowered structurally;
+- any step that can raise gets an :data:`EXCEPTION` edge to the
+  innermost enclosing handler (or the function exit — a propagating
+  exception is a path out of the function, which is exactly the path
+  resource leaks hide on);
+- ``finally`` bodies are **duplicated per continuation** (normal,
+  exceptional, and each abrupt ``return``/``break``/``continue``
+  route), the classic lowering that keeps the graph acyclic in the
+  right places without path-sensitive dataflow;
+- a ``with`` body's exception edge routes through a ``with-exit`` step
+  that then *both* propagates and falls through — a context manager
+  may legally suppress (``contextlib.suppress``), so both paths exist.
+
+The graph is deliberately small-scale: blocks hold at most one
+:class:`Step`, and block ids are dense integers in construction order,
+so two builds of the same source are identical — pass output stays
+byte-for-byte deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = [
+    "NORMAL",
+    "TRUE",
+    "FALSE",
+    "EXCEPTION",
+    "BACK",
+    "Step",
+    "Block",
+    "Edge",
+    "CFG",
+    "build_cfg",
+]
+
+#: Ordinary fall-through / jump edge.
+NORMAL = "normal"
+#: Branch taken (condition true / iterator produced a value / case matched).
+TRUE = "true"
+#: Branch not taken (condition false / iterator exhausted / no case matched).
+FALSE = "false"
+#: Control transferred by a raised exception.  The dataflow runner
+#: propagates the *pre-step* state along these by default (the step's
+#: own effect may not have happened when the exception fired).
+EXCEPTION = "exception"
+#: Loop back-edge (body end → loop test).
+BACK = "back"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One atomic unit of behaviour inside a block.
+
+    Attributes:
+        node: the AST node the step executes (a simple statement, or
+            the compound statement a structural step belongs to).
+        kind: ``"stmt"`` for simple statements; ``"test"`` for a
+            branch/loop condition; ``"iter"`` for a ``for`` loop's
+            next-element fetch; ``"with-enter"`` / ``"with-exit"`` for
+            context-manager boundaries; ``"handler"`` for an ``except``
+            clause header (where the exception name binds); ``"case"``
+            for a ``match`` case test.
+    """
+
+    node: ast.AST
+    kind: str = "stmt"
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass
+class Block:
+    """A basic block holding at most one step (entry/exit/joins hold none)."""
+
+    id: int
+    step: Step | None = None
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed control-flow edge between two blocks."""
+
+    src: int
+    dst: int
+    kind: str = NORMAL
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.blocks: dict[int, Block] = {}
+        self._succs: dict[int, list[Edge]] = {}
+        self._preds: dict[int, list[Edge]] = {}
+        self.entry = self.new_block(label="entry").id
+        self.exit = self.new_block(label="exit").id
+
+    # -- construction ---------------------------------------------------
+
+    def new_block(self, step: Step | None = None, label: str = "") -> Block:
+        block = Block(id=len(self.blocks), step=step, label=label)
+        self.blocks[block.id] = block
+        self._succs[block.id] = []
+        self._preds[block.id] = []
+        return block
+
+    def add_edge(self, src: int, dst: int, kind: str = NORMAL) -> None:
+        edge = Edge(src, dst, kind)
+        if edge in self._succs[src]:
+            return
+        self._succs[src].append(edge)
+        self._preds[dst].append(edge)
+
+    # -- queries --------------------------------------------------------
+
+    def succs(self, block_id: int) -> list[Edge]:
+        return list(self._succs[block_id])
+
+    def preds(self, block_id: int) -> list[Edge]:
+        return list(self._preds[block_id])
+
+    def edges(self) -> list[Edge]:
+        """All edges, deterministically ordered by (src, insertion)."""
+        out: list[Edge] = []
+        for block_id in sorted(self._succs):
+            out.extend(self._succs[block_id])
+        return out
+
+    def reachable_blocks(self) -> set[int]:
+        """Block ids reachable from the entry block."""
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            block_id = stack.pop()
+            if block_id in seen:
+                continue
+            seen.add(block_id)
+            stack.extend(e.dst for e in self._succs[block_id])
+        return seen
+
+    def describe(self) -> str:
+        """Readable dump (debugging and golden tests)."""
+        lines = []
+        for block_id in sorted(self.blocks):
+            block = self.blocks[block_id]
+            what = block.label or (
+                f"{type(block.step.node).__name__}:{block.step.kind}"
+                f"@{block.step.line}"
+                if block.step
+                else "join"
+            )
+            succs = ", ".join(f"{e.kind}->{e.dst}" for e in self._succs[block_id])
+            lines.append(f"B{block_id} {what} [{succs}]")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+
+#: Simple statements that can never raise at runtime.
+_NO_RAISE = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+
+@dataclass(frozen=True)
+class _Ctx:
+    """Where abrupt control transfers go, at the current nesting depth.
+
+    ``finallys`` stacks every enclosing ``finally`` body (with the
+    context its statements execute in); abrupt exits replay the suffix
+    of that stack added since their target was established.
+    """
+
+    exc_target: int
+    break_target: tuple[int, int] | None = None  # (block id, finally depth)
+    continue_target: tuple[int, int] | None = None
+    finallys: tuple[tuple[tuple[ast.stmt, ...], "_Ctx"], ...] = ()
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.cfg = CFG(func)
+
+    def build(self) -> CFG:
+        ctx = _Ctx(exc_target=self.cfg.exit)
+        entry, exits = self.body(self.cfg.func.body, ctx)
+        if entry is not None:
+            self.cfg.add_edge(self.cfg.entry, entry)
+        else:
+            self.cfg.add_edge(self.cfg.entry, self.cfg.exit)
+        for block_id in exits:
+            self.cfg.add_edge(block_id, self.cfg.exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+
+    def body(
+        self, stmts: list[ast.stmt], ctx: _Ctx
+    ) -> tuple[int | None, list[int]]:
+        """Build a statement sequence.
+
+        Returns ``(entry, exits)``: the first block (None for an empty
+        sequence) and the blocks whose normal successor is whatever
+        comes after the sequence (empty when all paths leave abruptly).
+        """
+        entry: int | None = None
+        exits: list[int] = []
+        open_ends: list[int] | None = None  # None = start of sequence
+        for stmt in stmts:
+            s_entry, s_exits = self.statement(stmt, ctx)
+            if s_entry is None:
+                continue
+            if open_ends is None:
+                entry = s_entry
+            else:
+                for block_id in open_ends:
+                    self.cfg.add_edge(block_id, s_entry)
+            open_ends = s_exits
+            if not s_exits:
+                # All paths left abruptly; later statements are
+                # unreachable but still built (they get no in-edges).
+                exits = []
+                open_ends = []
+        if open_ends is not None:
+            exits = open_ends
+        return entry, exits
+
+    def statement(self, stmt: ast.stmt, ctx: _Ctx) -> tuple[int | None, list[int]]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, ctx)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, ctx)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, ctx)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, ctx)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, ctx)
+        if isinstance(stmt, ast.Return):
+            return self._return(stmt, ctx)
+        if isinstance(stmt, ast.Raise):
+            return self._raise(stmt, ctx)
+        if isinstance(stmt, ast.Break):
+            return self._loop_jump(stmt, ctx, ctx.break_target)
+        if isinstance(stmt, ast.Continue):
+            return self._loop_jump(stmt, ctx, ctx.continue_target)
+        # Simple statement (incl. nested def/class headers, which are
+        # opaque at this level: inner functions get their own CFGs).
+        block = self.cfg.new_block(Step(stmt))
+        if not isinstance(stmt, _NO_RAISE):
+            self.cfg.add_edge(block.id, ctx.exc_target, EXCEPTION)
+        return block.id, [block.id]
+
+    # -- structured statements -----------------------------------------
+
+    def _if(self, stmt: ast.If, ctx: _Ctx) -> tuple[int, list[int]]:
+        test = self.cfg.new_block(Step(stmt, "test"))
+        self.cfg.add_edge(test.id, ctx.exc_target, EXCEPTION)
+        exits: list[int] = []
+        then_entry, then_exits = self.body(stmt.body, ctx)
+        if then_entry is not None:
+            self.cfg.add_edge(test.id, then_entry, TRUE)
+            exits.extend(then_exits)
+        else:
+            exits.append(test.id)
+        if stmt.orelse:
+            else_entry, else_exits = self.body(stmt.orelse, ctx)
+            if else_entry is not None:
+                self.cfg.add_edge(test.id, else_entry, FALSE)
+                exits.extend(else_exits)
+            else:
+                exits.append(test.id)
+        else:
+            exits.append(test.id)
+        return test.id, exits
+
+    def _loop(
+        self,
+        stmt: ast.While | ast.For | ast.AsyncFor,
+        head_kind: str,
+        ctx: _Ctx,
+    ) -> tuple[int, list[int]]:
+        head = self.cfg.new_block(Step(stmt, head_kind))
+        self.cfg.add_edge(head.id, ctx.exc_target, EXCEPTION)
+        after = self.cfg.new_block(label="loop-after")
+        depth = len(ctx.finallys)
+        loop_ctx = _Ctx(
+            exc_target=ctx.exc_target,
+            break_target=(after.id, depth),
+            continue_target=(head.id, depth),
+            finallys=ctx.finallys,
+        )
+        body_entry, body_exits = self.body(stmt.body, loop_ctx)
+        if body_entry is not None:
+            self.cfg.add_edge(head.id, body_entry, TRUE)
+            for block_id in body_exits:
+                self.cfg.add_edge(block_id, head.id, BACK)
+        else:
+            self.cfg.add_edge(head.id, head.id, BACK)
+        # The else clause runs on normal loop exhaustion; break skips it
+        # (break targets `after` directly).
+        if stmt.orelse:
+            else_entry, else_exits = self.body(stmt.orelse, ctx)
+            if else_entry is not None:
+                self.cfg.add_edge(head.id, else_entry, FALSE)
+                for block_id in else_exits:
+                    self.cfg.add_edge(block_id, after.id)
+            else:
+                self.cfg.add_edge(head.id, after.id, FALSE)
+        else:
+            self.cfg.add_edge(head.id, after.id, FALSE)
+        return head.id, [after.id]
+
+    def _while(self, stmt: ast.While, ctx: _Ctx) -> tuple[int, list[int]]:
+        return self._loop(stmt, "test", ctx)
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, ctx: _Ctx) -> tuple[int, list[int]]:
+        return self._loop(stmt, "iter", ctx)
+
+    def _try(self, stmt: ast.Try, ctx: _Ctx) -> tuple[int | None, list[int]]:
+        after_exits: list[int] = []
+        # --- exceptional finally: runs the finalbody, then re-raises.
+        if stmt.finalbody:
+            fin_exc_entry, fin_exc_exits = self.body(stmt.finalbody, ctx)
+            assert fin_exc_entry is not None
+            for block_id in fin_exc_exits:
+                self.cfg.add_edge(block_id, ctx.exc_target, EXCEPTION)
+            protected_exc: int = fin_exc_entry
+            inner_finallys = ctx.finallys + ((tuple(stmt.finalbody), ctx),)
+        else:
+            protected_exc = ctx.exc_target
+            inner_finallys = ctx.finallys
+
+        # --- handler dispatch: body exceptions test each handler in
+        # order; an unmatched exception propagates (through finally).
+        if stmt.handlers:
+            dispatch = self.cfg.new_block(label="except-dispatch")
+            body_exc_target = dispatch.id
+        else:
+            body_exc_target = protected_exc
+
+        body_ctx = _Ctx(
+            exc_target=body_exc_target,
+            break_target=ctx.break_target,
+            continue_target=ctx.continue_target,
+            finallys=inner_finallys,
+        )
+        body_entry, body_exits = self.body(stmt.body, body_ctx)
+
+        handler_ctx = _Ctx(
+            exc_target=protected_exc,
+            break_target=ctx.break_target,
+            continue_target=ctx.continue_target,
+            finallys=inner_finallys,
+        )
+        if stmt.handlers:
+            # A bare `except:` (or Exception/BaseException) catches
+            # everything, so dispatch cannot fall through uncaught.
+            catch_all = any(
+                handler.type is None
+                or (
+                    isinstance(handler.type, ast.Name)
+                    and handler.type.id in ("BaseException", "Exception")
+                )
+                for handler in stmt.handlers
+            )
+            if not catch_all:
+                self.cfg.add_edge(dispatch.id, protected_exc, EXCEPTION)
+            for handler in stmt.handlers:
+                head = self.cfg.new_block(Step(handler, "handler"))
+                self.cfg.add_edge(dispatch.id, head.id, EXCEPTION)
+                h_entry, h_exits = self.body(handler.body, handler_ctx)
+                if h_entry is not None:
+                    self.cfg.add_edge(head.id, h_entry)
+                    after_exits.extend(h_exits)
+                else:
+                    after_exits.append(head.id)
+
+        # --- else clause: runs only after the body completes normally.
+        if stmt.orelse:
+            else_entry, else_exits = self.body(stmt.orelse, handler_ctx)
+            if else_entry is not None:
+                for block_id in body_exits:
+                    self.cfg.add_edge(block_id, else_entry)
+                after_exits.extend(else_exits)
+            else:
+                after_exits.extend(body_exits)
+        else:
+            after_exits.extend(body_exits)
+
+        # --- normal finally: every non-exceptional completion runs it.
+        if stmt.finalbody:
+            fin_entry, fin_exits = self.body(stmt.finalbody, ctx)
+            assert fin_entry is not None
+            for block_id in after_exits:
+                self.cfg.add_edge(block_id, fin_entry)
+            after_exits = fin_exits
+
+        if body_entry is None:
+            # Empty try body: behave like its (empty) normal completion.
+            return (None, after_exits) if not after_exits else (after_exits[0], after_exits)
+        return body_entry, after_exits
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, ctx: _Ctx) -> tuple[int, list[int]]:
+        enter = self.cfg.new_block(Step(stmt, "with-enter"))
+        self.cfg.add_edge(enter.id, ctx.exc_target, EXCEPTION)
+        # Exceptional exit: __exit__ runs, then the exception either
+        # propagates or is suppressed (both edges exist — we cannot know
+        # statically whether the manager suppresses).
+        exit_exc = self.cfg.new_block(Step(stmt, "with-exit"))
+        self.cfg.add_edge(exit_exc.id, ctx.exc_target, EXCEPTION)
+        body_ctx = _Ctx(
+            exc_target=exit_exc.id,
+            break_target=ctx.break_target,
+            continue_target=ctx.continue_target,
+            finallys=ctx.finallys,
+        )
+        body_entry, body_exits = self.body(stmt.body, body_ctx)
+        exit_norm = self.cfg.new_block(Step(stmt, "with-exit"))
+        self.cfg.add_edge(exit_norm.id, ctx.exc_target, EXCEPTION)
+        if body_entry is not None:
+            self.cfg.add_edge(enter.id, body_entry)
+            for block_id in body_exits:
+                self.cfg.add_edge(block_id, exit_norm.id)
+        else:
+            self.cfg.add_edge(enter.id, exit_norm.id)
+        # Suppression: the exceptional exit can fall through to after.
+        return enter.id, [exit_norm.id, exit_exc.id]
+
+    def _match(self, stmt: ast.Match, ctx: _Ctx) -> tuple[int, list[int]]:
+        head = self.cfg.new_block(Step(stmt, "test"))
+        self.cfg.add_edge(head.id, ctx.exc_target, EXCEPTION)
+        exits: list[int] = []
+        for case in stmt.cases:
+            case_head = self.cfg.new_block(Step(case, "case"))
+            self.cfg.add_edge(head.id, case_head.id, TRUE)
+            c_entry, c_exits = self.body(case.body, ctx)
+            if c_entry is not None:
+                self.cfg.add_edge(case_head.id, c_entry)
+                exits.extend(c_exits)
+            else:
+                exits.append(case_head.id)
+        exits.append(head.id)  # no case matched
+        return head.id, exits
+
+    # -- abrupt transfers ----------------------------------------------
+
+    def _run_finallys(self, from_block: int, ctx: _Ctx, down_to: int) -> int:
+        """Chain pending ``finally`` bodies (innermost first) after
+        *from_block*; returns the block the final edge should leave."""
+        current = from_block
+        for fin_body, fin_ctx in reversed(ctx.finallys[down_to:]):
+            entry, exits = self.body(list(fin_body), fin_ctx)
+            if entry is None:
+                continue
+            self.cfg.add_edge(current, entry)
+            if not exits:
+                return -1  # the finally itself leaves abruptly
+            if len(exits) == 1:
+                current = exits[0]
+            else:
+                join = self.cfg.new_block(label="finally-join")
+                for block_id in exits:
+                    self.cfg.add_edge(block_id, join.id)
+                current = join.id
+        return current
+
+    def _return(self, stmt: ast.Return, ctx: _Ctx) -> tuple[int, list[int]]:
+        block = self.cfg.new_block(Step(stmt))
+        if stmt.value is not None:
+            self.cfg.add_edge(block.id, ctx.exc_target, EXCEPTION)
+        tail = self._run_finallys(block.id, ctx, 0)
+        if tail >= 0:
+            self.cfg.add_edge(tail, self.cfg.exit)
+        return block.id, []
+
+    def _raise(self, stmt: ast.Raise, ctx: _Ctx) -> tuple[int, list[int]]:
+        block = self.cfg.new_block(Step(stmt))
+        # A raise (bare re-raise included) transfers to the innermost
+        # handler, which already routes through any pending finally.
+        self.cfg.add_edge(block.id, ctx.exc_target, EXCEPTION)
+        return block.id, []
+
+    def _loop_jump(
+        self,
+        stmt: ast.Break | ast.Continue,
+        ctx: _Ctx,
+        target: tuple[int, int] | None,
+    ) -> tuple[int, list[int]]:
+        block = self.cfg.new_block(Step(stmt))
+        if target is None:
+            # break/continue outside a loop: syntactically invalid but
+            # parseable; treat as a dead end rather than crashing.
+            return block.id, []
+        target_id, depth = target
+        tail = self._run_finallys(block.id, ctx, depth)
+        if tail >= 0:
+            self.cfg.add_edge(tail, target_id)
+        return block.id, []
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    return _Builder(func).build()

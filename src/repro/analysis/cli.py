@@ -9,9 +9,15 @@ lists accepted findings by fingerprint; anything not in it is *new*.
 
 ``--format github`` emits GitHub Actions workflow annotations
 (``::error file=...,line=...``) so findings surface inline on the PR
-diff; ``--check-baseline`` enforces baseline hygiene — it exits 1 when
-the baseline lists fingerprints that no longer fire, so the baseline
-can only ever shrink.
+diff; ``--format sarif`` emits a SARIF 2.1.0 log suitable for GitHub
+code-scanning upload; ``--check-baseline`` enforces baseline hygiene —
+it exits 1 when the baseline lists fingerprints that no longer fire, so
+the baseline can only ever shrink.
+
+A ``protolint.config.json`` in the working directory supplies the
+default analyzed trees (and exclusion prefixes) when no paths are given
+on the command line, so CI lints ``benchmarks/`` and ``examples/``
+alongside ``src/repro`` while the test trees stay exempt.
 """
 
 from __future__ import annotations
@@ -23,13 +29,14 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.baseline import filter_new, load_baseline, write_baseline
-from repro.analysis.core import Finding, ModuleUnit, run_passes
+from repro.analysis.core import Finding, ModuleUnit, Pass, run_passes
 from repro.analysis.passes import all_passes
 from repro.core.errors import AnalysisError
 
-__all__ = ["main", "collect_units", "default_target"]
+__all__ = ["main", "collect_units", "default_target", "load_config"]
 
 DEFAULT_BASELINE_NAME = "protolint.baseline.json"
+DEFAULT_CONFIG_NAME = "protolint.config.json"
 
 
 def default_target() -> Path:
@@ -44,7 +51,35 @@ def default_target() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
-def collect_units(paths: Sequence[Path]) -> list[ModuleUnit]:
+def load_config(path: Path) -> dict[str, list[str]]:
+    """Parse ``protolint.config.json``: ``paths`` and ``exclude`` lists.
+
+    Both keys are optional; unknown keys are rejected so typos fail
+    loudly instead of silently linting the wrong tree.
+    """
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"{path}: cannot read config: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise AnalysisError(f"{path}: config must be a JSON object")
+    unknown = set(raw) - {"paths", "exclude"}
+    if unknown:
+        raise AnalysisError(
+            f"{path}: unknown config key(s): {', '.join(sorted(unknown))}"
+        )
+    config: dict[str, list[str]] = {}
+    for key in ("paths", "exclude"):
+        value = raw.get(key, [])
+        if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+            raise AnalysisError(f"{path}: config key {key!r} must be a list of strings")
+        config[key] = value
+    return config
+
+
+def collect_units(
+    paths: Sequence[Path], exclude: Sequence[str] = ()
+) -> list[ModuleUnit]:
     units: list[ModuleUnit] = []
     seen: set[Path] = set()
     for path in paths:
@@ -55,6 +90,9 @@ def collect_units(paths: Sequence[Path]) -> list[ModuleUnit]:
         else:
             raise AnalysisError(f"no such file or directory: {path}")
         for file in files:
+            posix = file.as_posix()
+            if any(posix.startswith(prefix) for prefix in exclude):
+                continue
             resolved = file.resolve()
             if resolved in seen:
                 continue
@@ -77,6 +115,60 @@ def _render_github(new: list[Finding]) -> str:
         )
     lines.append(f"protolint: {len(new)} finding(s)")
     return "\n".join(lines)
+
+
+def _render_sarif(new: list[Finding], passes: Sequence[Pass]) -> str:
+    """SARIF 2.1.0 log for GitHub code-scanning upload.
+
+    Output is fully deterministic: rules sorted by id, results already
+    in the runner's ``(path, line, pass, message)`` order, and the JSON
+    serialized with sorted keys.
+    """
+    rules = [
+        {
+            "id": pass_.id,
+            "name": pass_.id,
+            "shortDescription": {"text": pass_.description},
+        }
+        for pass_ in sorted(passes, key=lambda p: p.id)
+    ]
+    results = [
+        {
+            "ruleId": finding.pass_id,
+            "level": "error" if finding.severity == "error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": finding.line},
+                    }
+                }
+            ],
+            "partialFingerprints": {"protolint/v1": finding.fingerprint},
+        }
+        for finding in new
+    ]
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "protolint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
 
 
 def _check_baseline(findings: list[Finding], accepted: set[str]) -> int:
@@ -124,9 +216,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json", "github"],
+        choices=["text", "json", "github", "sarif"],
         default="text",
-        help="output format (default: text; github = workflow annotations)",
+        help="output format (default: text; github = workflow annotations; "
+        "sarif = SARIF 2.1.0 for code-scanning upload)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        help=f"config file supplying default paths/exclusions "
+        f"(default: {DEFAULT_CONFIG_NAME} if it exists)",
     )
     parser.add_argument(
         "--select",
@@ -186,7 +285,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             passes = [pass_ for pass_ in passes if pass_.id not in ids]
 
-    paths = list(args.paths) or [default_target()]
+    config_path = args.config
+    if config_path is None:
+        implicit_config = Path(DEFAULT_CONFIG_NAME)
+        if implicit_config.is_file():
+            config_path = implicit_config
+    exclude: list[str] = []
+    paths = list(args.paths)
+    try:
+        if config_path is not None and not paths:
+            # Config supplies defaults only; explicit CLI paths analyze
+            # exactly what was asked for (the test fixtures live under
+            # an excluded tree and must still be lintable by name).
+            config = load_config(config_path)
+            exclude = config["exclude"]
+            paths = [Path(p) for p in config["paths"]]
+    except AnalysisError as exc:
+        print(f"protolint: {exc}", file=sys.stderr)
+        return 2
+    if not paths:
+        paths = [default_target()]
     baseline_path = args.baseline
     if baseline_path is None:
         implicit = Path(DEFAULT_BASELINE_NAME)
@@ -194,7 +312,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             baseline_path = implicit
 
     try:
-        units = collect_units(paths)
+        units = collect_units(paths, exclude)
         findings = run_passes(units, passes)
         if args.write_baseline:
             target = baseline_path or Path(DEFAULT_BASELINE_NAME)
@@ -215,6 +333,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.format == "github":
         print(_render_github(new))
+    elif args.format == "sarif":
+        print(_render_sarif(new, passes))
     elif args.format == "json":
         payload = {
             "version": 1,

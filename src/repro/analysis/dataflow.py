@@ -1,0 +1,127 @@
+"""Forward dataflow over :mod:`repro.analysis.cfg` graphs.
+
+A classic monotone-framework worklist: an analysis supplies the lattice
+(:meth:`ForwardAnalysis.initial` and :meth:`ForwardAnalysis.join`) and
+the per-step transfer function; :func:`run_forward` iterates edges to a
+fixpoint and hands back every block's IN state.
+
+The one protocol-processing-specific wrinkle is
+:meth:`ForwardAnalysis.exception_state`: an :data:`~repro.analysis.cfg.EXCEPTION`
+edge leaves a step that may not have *finished* — ``x.release()`` can
+raise before the release took effect, but equally the exception may fire
+after it.  The default (propagate the IN state, i.e. assume the step's
+effect did not happen) is the sound choice for leak detection; analyses
+override it per step when the pessimism would manufacture false
+positives (the budget-leak pass propagates the *post* state out of a
+``release()`` so a ``finally: lease.release()`` is not reported as a
+leak on its own exception edge).
+
+States must be immutable values with ``==`` (the passes use
+``frozenset`` of fact tuples); the runner never mutates them.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+from repro.analysis.cfg import CFG, EXCEPTION, Step
+
+__all__ = ["ForwardAnalysis", "GenKill", "run_forward"]
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Base class for a forward dataflow analysis.
+
+    Subclasses implement :meth:`initial`, :meth:`join`, and
+    :meth:`transfer`; :meth:`exception_state` is optional.
+    """
+
+    def initial(self) -> S:
+        """The state at the function entry block."""
+        raise NotImplementedError
+
+    def bottom(self) -> S:
+        """The identity of :meth:`join` (state of unreached blocks).
+
+        Defaults to :meth:`initial`; override when the entry state is
+        not the lattice bottom.
+        """
+        return self.initial()
+
+    def join(self, left: S, right: S) -> S:
+        """Merge two states at a control-flow join."""
+        raise NotImplementedError
+
+    def transfer(self, step: Step, state: S) -> S:
+        """The state after executing *step* normally from *state*."""
+        raise NotImplementedError
+
+    def exception_state(self, step: Step, in_state: S, out_state: S) -> S:
+        """The state carried along *step*'s exception edge.
+
+        Receives both the IN state (step did not complete) and the OUT
+        state (it did); the sound default for may-leak analyses is the
+        IN state.
+        """
+        return in_state
+
+
+class GenKill(ForwardAnalysis[frozenset]):
+    """Gen/kill helper over ``frozenset`` fact states.
+
+    Subclasses implement :meth:`gen` and :meth:`kill` (sets of facts
+    added / removed by a step); ``initial`` is the empty set and
+    ``join`` is union (a *may* analysis — a fact holds at a point if it
+    holds on some path, which is what leak detection wants).
+    """
+
+    def initial(self) -> frozenset:
+        return frozenset()
+
+    def join(self, left: frozenset, right: frozenset) -> frozenset:
+        return left | right
+
+    def gen(self, step: Step, state: frozenset) -> frozenset:
+        return frozenset()
+
+    def kill(self, step: Step, state: frozenset) -> frozenset:
+        return frozenset()
+
+    def transfer(self, step: Step, state: frozenset) -> frozenset:
+        return (state - self.kill(step, state)) | self.gen(step, state)
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis[S]) -> dict[int, S]:
+    """Run *analysis* over *cfg* to fixpoint; returns IN state per block.
+
+    Only blocks reachable from the entry participate; unreachable
+    blocks keep :meth:`~ForwardAnalysis.bottom`.
+    """
+    in_states: dict[int, S] = {bid: analysis.bottom() for bid in cfg.blocks}
+    in_states[cfg.entry] = analysis.initial()
+    # Seed with every reachable block (in id order, which is build
+    # order) so each propagates its transfer at least once even when
+    # its IN state never moves off bottom.
+    work: list[int] = sorted(cfg.reachable_blocks())
+    queued: set[int] = set(work)
+    while work:
+        block_id = work.pop(0)
+        queued.discard(block_id)
+        block = cfg.blocks[block_id]
+        in_state = in_states[block_id]
+        if block.step is None:
+            out_state = exc_out = in_state
+        else:
+            out_state = analysis.transfer(block.step, in_state)
+            exc_out = analysis.exception_state(block.step, in_state, out_state)
+        for edge in cfg.succs(block_id):
+            carried = exc_out if edge.kind == EXCEPTION else out_state
+            merged = analysis.join(in_states[edge.dst], carried)
+            if merged != in_states[edge.dst]:
+                in_states[edge.dst] = merged
+                if edge.dst not in queued:
+                    work.append(edge.dst)
+                    queued.add(edge.dst)
+    return in_states

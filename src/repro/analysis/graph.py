@@ -70,14 +70,26 @@ class FunctionInfo:
     unit: ModuleUnit
 
 
-def _resolve_relative(module: str, level: int, target: str | None) -> str | None:
-    """Absolute module for a ``from ...x import y`` statement."""
+def _resolve_relative(
+    module: str, level: int, target: str | None, *, is_package: bool = False
+) -> str | None:
+    """Absolute module for a ``from ...x import y`` statement.
+
+    ``level`` counts leading dots.  One dot means "my package": for a
+    plain module that is the name minus its last segment, but for a
+    package ``__init__`` the module name *is* the package, so packages
+    strip one segment fewer (CPython's ``importlib._bootstrap._resolve_name``
+    does the same via ``package`` vs ``__name__``).  A level that climbs
+    past the root resolves to ``None`` — the caller drops the edge
+    rather than inventing one.
+    """
     if level == 0:
         return target
     base = module.split(".")
-    if len(base) < level:
+    strip = level - 1 if is_package else level
+    if len(base) < strip or (strip == len(base) and not target):
         return None
-    prefix = base[: len(base) - level]
+    prefix = base[: len(base) - strip]
     if target:
         prefix.append(target)
     return ".".join(prefix) if prefix else None
@@ -126,7 +138,12 @@ class ProjectGraph:
                         root = alias.name.split(".")[0]
                         alias_table.setdefault(root, root)
             elif isinstance(node, ast.ImportFrom):
-                target = _resolve_relative(module, node.level, node.module)
+                target = _resolve_relative(
+                    module,
+                    node.level,
+                    node.module,
+                    is_package=unit.path.name == "__init__.py",
+                )
                 if target is None:
                     continue
                 self._add_edge(module, target, node.lineno)

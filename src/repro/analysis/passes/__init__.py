@@ -1,13 +1,18 @@
-"""The nine protolint passes (see :mod:`repro.analysis` for overview).
+"""The thirteen protolint passes (see :mod:`repro.analysis` for overview).
 
-Five are per-module AST checks (PR 1); four are interprocedural,
-running over the :class:`~repro.analysis.graph.ProjectGraph` the runner
-builds from the full module set.
+Six are per-module AST checks; four are interprocedural, running over
+the :class:`~repro.analysis.graph.ProjectGraph` the runner builds from
+the full module set; and three (budget-leak plus the two newest
+interprocedural passes) are built on the :mod:`repro.analysis.cfg` /
+:mod:`repro.analysis.dataflow` engine or the call graph's reachability
+queries.
 """
 
 from __future__ import annotations
 
 from repro.analysis.core import Pass
+from repro.analysis.passes.async_discipline import AsyncDisciplinePass
+from repro.analysis.passes.budget_leak import BudgetLeakPass
 from repro.analysis.passes.codec_symmetry import CodecSymmetryPass
 from repro.analysis.passes.determinism import DeterminismPass
 from repro.analysis.passes.exception_discipline import ExceptionDisciplinePass
@@ -16,18 +21,24 @@ from repro.analysis.passes.hot_path_copy import HotPathCopyPass
 from repro.analysis.passes.layering import LayeringPass
 from repro.analysis.passes.mutable_sharing import MutableSharingPass
 from repro.analysis.passes.rng_flow import RngFlowPass
+from repro.analysis.passes.seam_purity import SeamPurityPass
+from repro.analysis.passes.wire_drift import WireDriftPass
 from repro.analysis.passes.wire_width import WireWidthPass
 
 __all__ = [
     "WireWidthPass",
+    "WireDriftPass",
     "CodecSymmetryPass",
     "DeterminismPass",
     "ExceptionDisciplinePass",
     "ExportDriftPass",
+    "BudgetLeakPass",
     "LayeringPass",
     "RngFlowPass",
     "HotPathCopyPass",
     "MutableSharingPass",
+    "SeamPurityPass",
+    "AsyncDisciplinePass",
     "all_passes",
 ]
 
@@ -36,12 +47,16 @@ def all_passes() -> list[Pass]:
     """Fresh instances of every pass, in documentation order."""
     return [
         WireWidthPass(),
+        WireDriftPass(),
         CodecSymmetryPass(),
         DeterminismPass(),
         ExceptionDisciplinePass(),
         ExportDriftPass(),
+        BudgetLeakPass(),
         LayeringPass(),
         RngFlowPass(),
         HotPathCopyPass(),
         MutableSharingPass(),
+        SeamPurityPass(),
+        AsyncDisciplinePass(),
     ]

@@ -1,0 +1,141 @@
+"""async-discipline: the future event loop must never be stalled.
+
+ROADMAP item 1 replaces the simulated scheduler with an asyncio runner.
+Two bug classes make that migration silently wrong:
+
+- a **blocking primitive inside async-reachable code** — a function a
+  coroutine can reach (through the project call graph) that calls
+  ``time.sleep`` / ``socket.*`` / ``select.select`` / ``subprocess``
+  stalls the whole event loop, turning the paper's single-pass latency
+  argument into multi-millisecond hiccups for *every* connection;
+- an **un-awaited coroutine call**: ``coro()`` as a bare expression
+  statement creates the coroutine object and drops it, so the work
+  never runs (asyncio only warns at garbage-collection time, long after
+  the protocol has misbehaved).
+
+Traversal follows **exact** call-graph resolutions plus the bare-name
+fallback only when it is unambiguous (exactly one candidate): the
+blocking-call question needs precision, not the full fan-out the seam
+pass wants, or one popular method name would mark the world async.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Iterator
+
+from repro.analysis.core import Finding, ProjectPass, dotted_name
+from repro.analysis.graph import FunctionInfo, ProjectGraph
+
+__all__ = ["AsyncDisciplinePass"]
+
+#: Known-blocking callables by resolved dotted name or prefix.
+BLOCKING_EXACT = frozenset(
+    {
+        "time.sleep",
+        "select.select",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "os.system",
+        "os.wait",
+        "os.waitpid",
+    }
+)
+BLOCKING_PREFIXES = ("socket.",)
+
+
+def _resolved_target(graph: ProjectGraph, info: FunctionInfo, call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return graph.resolve_name(info.module, func.id)
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    return graph.resolve_dotted(info.module, dotted)
+
+
+def _blocking_name(resolved: str | None) -> str | None:
+    if resolved is None:
+        return None
+    if resolved in BLOCKING_EXACT:
+        return resolved
+    if any(resolved.startswith(p) for p in BLOCKING_PREFIXES):
+        return resolved
+    return None
+
+
+def _async_reachable(graph: ProjectGraph, roots: list[str]) -> set[str]:
+    """Functions reachable from the async roots, following exact call
+    resolutions and *unique* bare-name fallbacks only."""
+    seen: set[str] = set()
+    queue: deque[str] = deque(roots)
+    while queue:
+        qual = queue.popleft()
+        if qual in seen:
+            continue
+        seen.add(qual)
+        info = graph.functions[qual]
+        for call in graph.calls_in(info):
+            candidates, exact = graph.resolve_call(info, call)
+            if not exact and len(candidates) != 1:
+                continue
+            for cand in candidates:
+                if cand not in seen:
+                    queue.append(cand)
+    return seen
+
+
+class AsyncDisciplinePass(ProjectPass):
+    id = "async-discipline"
+    description = "async-reachable code never blocks; coroutine calls are awaited"
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        roots = sorted(
+            qual
+            for qual, info in graph.functions.items()
+            if isinstance(info.node, ast.AsyncFunctionDef)
+        )
+        if not roots:
+            return
+        coroutines = frozenset(roots)
+        reachable = _async_reachable(graph, roots)
+
+        for qual in sorted(reachable):
+            info = graph.functions[qual]
+            for call in graph.calls_in(info):
+                blocking = _blocking_name(_resolved_target(graph, info, call))
+                if blocking is None:
+                    continue
+                yield self.finding_at(
+                    info.unit.display_path,
+                    call.lineno,
+                    f"{qual} calls blocking `{blocking}` but is reachable "
+                    "from a coroutine: this stalls the event loop for every "
+                    "connection (use the loop's timer/executor instead)",
+                    symbol=f"blocking:{qual}->{blocking}",
+                )
+
+        # Un-awaited coroutine calls: a bare Expr statement whose value
+        # resolves exactly to an async def creates-and-drops the coroutine.
+        for qual in sorted(graph.functions):
+            info = graph.functions[qual]
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+                    continue
+                candidates, exact = graph.resolve_call(info, node.value)
+                if not exact or len(candidates) != 1:
+                    continue
+                target = next(iter(candidates))
+                if target not in coroutines:
+                    continue
+                yield self.finding_at(
+                    info.unit.display_path,
+                    node.lineno,
+                    f"{qual} calls coroutine `{target}` without awaiting "
+                    "it — the coroutine object is dropped and the work "
+                    "never runs (await it or wrap in a task)",
+                    symbol=f"unawaited:{qual}->{target}",
+                )

@@ -1,0 +1,337 @@
+"""budget-leak: borrow checking for budget/ledger acquire tokens.
+
+:meth:`repro.host.budget.SharedPlacementBudget.acquire` and
+:meth:`repro.host.memory.TouchLedger.acquire` hand out owned tokens
+(:class:`~repro.host.budget.BudgetLease`,
+:class:`~repro.host.memory.TouchSpan`).  A token that never reaches
+``release()`` is pool memory (or touch accounting) silently lost — the
+no-silent-loss invariant the paper's labelling argument rests on — and
+the classic way to lose one is an exception edge: the code between
+``acquire()`` and ``release()`` raises, and the token dies with the
+frame.
+
+This pass runs the :mod:`repro.analysis.cfg` /
+:mod:`repro.analysis.dataflow` engine over every function and checks,
+on **every** control-flow path including exception edges:
+
+- a local bound from an ``.acquire(...)`` call must reach a
+  ``.release()``, transfer ownership (returned, stored into an
+  attribute/subscript/container, passed to a call, yielded), or be the
+  subject of a ``with`` block — otherwise the acquire **leaks**;
+- a ``.release()`` on a path where the token was already released is a
+  **double release** (the runtime raises ``ValueError``; the linter
+  catches it first);
+- an ``.acquire(...)`` whose result is discarded leaks immediately;
+- rebinding a local while its token is still live drops that token.
+
+Ownership-transfer positions are deliberately narrow and syntactic:
+passing the bare name as a call argument, returning/yielding it, or
+storing it anywhere that is not a plain local rebind.  Method calls *on*
+the token (``lease.grow(n)``) and attribute loads (``lease.held_bytes``)
+are uses, not transfers, and keep the obligation alive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.cfg import Step, build_cfg
+from repro.analysis.core import Finding, ModuleUnit, Pass
+from repro.analysis.dataflow import ForwardAnalysis, run_forward
+
+__all__ = ["BudgetLeakPass"]
+
+#: ("acq" | "rel", local name, source line of the acquire/release)
+Fact = tuple[str, str, int]
+State = frozenset  # frozenset[Fact]
+
+
+def _unwrap_await(expr: ast.expr) -> ast.expr:
+    return expr.value if isinstance(expr, ast.Await) else expr
+
+
+def _acquire_call(expr: ast.expr) -> ast.Call | None:
+    """The ``<obj>.acquire(...)`` call inside *expr*, if that is all it is."""
+    expr = _unwrap_await(expr)
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "acquire"
+    ):
+        return expr
+    return None
+
+
+def _release_var(stmt: ast.stmt) -> tuple[str, int] | None:
+    """``(name, line)`` when *stmt* is ``name.release()`` (maybe assigned)."""
+    value: ast.expr | None = None
+    if isinstance(stmt, (ast.Expr, ast.Assign)):
+        value = stmt.value
+    elif isinstance(stmt, ast.AnnAssign):
+        value = stmt.value
+    if value is None:
+        return None
+    value = _unwrap_await(value)
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "release"
+        and isinstance(value.func.value, ast.Name)
+        and not value.args
+        and not value.keywords
+    ):
+        return value.func.value.id, value.lineno
+    return None
+
+
+def _escaping_names(exprs: list[ast.expr]) -> set[str]:
+    """Local names *exprs* may transfer ownership of.
+
+    A bare ``Name`` load anywhere in the expression escapes, except as
+    the base of an attribute access (``x.method()`` / ``x.attr`` are
+    uses) or as the function being called (``f()`` does not give ``f``
+    away).
+    """
+    out: set[str] = set()
+    skip: set[int] = set()
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute):
+                skip.add(id(node.value))
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                skip.add(id(node.func))
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in skip
+            ):
+                out.add(node.id)
+    return out
+
+
+def _step_exprs(step: Step) -> list[ast.expr]:
+    """The expressions a step actually evaluates (compound statements
+    appear as several steps; each sees only its own slice)."""
+    node = step.node
+    if step.kind == "test":
+        if isinstance(node, (ast.If, ast.While)):
+            return [node.test]
+        if isinstance(node, ast.Match):
+            return [node.subject]
+        return []
+    if step.kind == "iter":
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return [node.iter]
+        return []
+    if step.kind == "with-enter":
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in node.items]
+        return []
+    if step.kind != "stmt":
+        return []
+    if isinstance(node, (ast.Expr, ast.AugAssign)):
+        return [node.value]
+    if isinstance(node, ast.Assign):
+        return [node.value]
+    if isinstance(node, ast.AnnAssign):
+        return [node.value] if node.value is not None else []
+    if isinstance(node, ast.Return):
+        return [node.value] if node.value is not None else []
+    if isinstance(node, ast.Raise):
+        return [e for e in (node.exc, node.cause) if e is not None]
+    if isinstance(node, ast.Assert):
+        return [e for e in (node.test, node.msg) if e is not None]
+    return []
+
+
+def _assign_target(stmt: ast.stmt) -> str | None:
+    """The plain local a simple assignment rebinds, if exactly one."""
+    if (
+        isinstance(stmt, ast.Assign)
+        and len(stmt.targets) == 1
+        and isinstance(stmt.targets[0], ast.Name)
+    ):
+        return stmt.targets[0].id
+    if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+        return stmt.target.id
+    return None
+
+
+class _TokenFlow(ForwardAnalysis[State]):
+    """May-analysis over acquire/release facts for one function."""
+
+    def initial(self) -> State:
+        return frozenset()
+
+    def join(self, left: State, right: State) -> State:
+        return left | right
+
+    def transfer(self, step: Step, state: State) -> State:
+        if step.kind not in ("stmt", "test", "iter", "with-enter"):
+            return state
+        node = step.node
+        if step.kind == "stmt" and isinstance(node, ast.stmt):
+            released = _release_var(node)
+            if released is not None:
+                var, line = released
+                kept = frozenset(
+                    f for f in state if not (f[0] == "acq" and f[1] == var)
+                )
+                return kept | {("rel", var, line)}
+            target = _assign_target(node)
+            if target is not None and isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                state = frozenset(f for f in state if f[1] != target)
+                if value is not None and _acquire_call(value) is not None:
+                    return state | {("acq", target, node.lineno)}
+                # fall through: the RHS may still pass other tokens away
+        escaped = _escaping_names(_step_exprs(step))
+        if escaped:
+            state = frozenset(f for f in state if f[1] not in escaped)
+        return state
+
+    def exception_state(self, step: Step, in_state: State, out_state: State) -> State:
+        # On the exception edge, kills stick but gens do not: a release
+        # that raises has still consumed the token (the runtime marks
+        # the lease released before touching the pool — the canonical
+        # `finally: lease.release()` must not read as a leak), and a
+        # hand-off that raises is the callee's problem; but an
+        # `acquire()` that raises never bound its token.  That is
+        # exactly the facts present both before and after the step.
+        return in_state & out_state
+
+
+class BudgetLeakPass(Pass):
+    id = "budget-leak"
+    description = "acquire() tokens are released or owned on every CFG path"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        for qual, func in _functions(unit):
+            yield from self._check_function(unit, qual, func)
+
+    def _check_function(
+        self,
+        unit: ModuleUnit,
+        qual: str,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        if not _mentions_acquire(func):
+            return
+        cfg = build_cfg(func)
+        in_states = run_forward(cfg, _TokenFlow())
+
+        # Discarded acquires need no dataflow: the token is gone at once.
+        reported: set[tuple[str, int]] = set()
+        for block_id in sorted(cfg.blocks):
+            step = cfg.blocks[block_id].step
+            if step is None or step.kind != "stmt":
+                continue
+            node = step.node
+            if isinstance(node, ast.Expr) and _acquire_call(node.value) is not None:
+                key = ("discard", node.lineno)
+                if key not in reported:
+                    reported.add(key)
+                    yield self.finding(
+                        unit,
+                        node,
+                        f"{qual}: acquire() result is discarded — the token "
+                        "leaks immediately (bind it, store it, or use `with`)",
+                        symbol=f"discard:{qual}",
+                    )
+
+        # Leaks: an acquire fact that survives to the function exit on
+        # some path (exception edges included) was never released.
+        for kind, var, line in sorted(in_states[cfg.exit]):
+            if kind != "acq":
+                continue
+            key = ("leak", line)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield self.finding(
+                unit,
+                line,
+                f"{qual}: token {var!r} acquired here can reach the end of "
+                "the function unreleased (check exception paths and early "
+                "exits; release in `finally` or use `with`)",
+                symbol=f"leak:{qual}:{var}",
+            )
+
+        # Double releases and rebinds-while-held read the fixpoint at
+        # the offending statement.
+        for block_id in sorted(cfg.blocks):
+            step = cfg.blocks[block_id].step
+            if step is None or step.kind != "stmt":
+                continue
+            stmt_node = step.node
+            if not isinstance(stmt_node, ast.stmt):
+                continue
+            state = in_states[block_id]
+            released = _release_var(stmt_node)
+            if released is not None:
+                var, line = released
+                has_acq = any(f[0] == "acq" and f[1] == var for f in state)
+                prior = sorted(
+                    f[2] for f in state if f[0] == "rel" and f[1] == var
+                )
+                if prior and not has_acq:
+                    key = ("double", line)
+                    if key not in reported:
+                        reported.add(key)
+                        yield self.finding(
+                            unit,
+                            line,
+                            f"{qual}: {var!r} released here was already "
+                            f"released on line {prior[0]} (double release "
+                            "raises ValueError at runtime)",
+                            symbol=f"double-release:{qual}:{var}",
+                        )
+                continue
+            target = _assign_target(stmt_node)
+            if target is not None:
+                held = sorted(
+                    f[2] for f in state if f[0] == "acq" and f[1] == target
+                )
+                if held:
+                    key = ("rebind", stmt_node.lineno)
+                    if key not in reported:
+                        reported.add(key)
+                        yield self.finding(
+                            unit,
+                            stmt_node,
+                            f"{qual}: {target!r} is rebound while the token "
+                            f"acquired on line {held[0]} is still live — "
+                            "that token can no longer be released",
+                            symbol=f"rebind:{qual}:{target}",
+                        )
+
+
+def _mentions_acquire(func: ast.AST) -> bool:
+    """Cheap gate: skip the CFG machinery for token-free functions."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and node.attr in ("acquire", "release"):
+            return True
+    return False
+
+
+def _functions(
+    unit: ModuleUnit,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every function in the module (methods and nested defs included),
+    with dotted qualnames, in source order."""
+
+    def walk(prefix: str, body: list[ast.stmt]) -> Iterator[
+        tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]
+    ]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{stmt.name}"
+                yield qual, stmt
+                yield from walk(qual, stmt.body)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from walk(f"{prefix}.{stmt.name}", stmt.body)
+
+    yield from walk(unit.module, unit.tree.body)

@@ -116,6 +116,13 @@ class ExportDriftPass(Pass):
         ]
 
         if all_names is None:
+            # Only importable library modules owe a declared surface.
+            # Scripts outside the package tree (benchmarks, examples —
+            # their dotted name has no package prefix) are entry points:
+            # nothing imports them, so there is no API to declare.  Their
+            # phantom-export and literal-__all__ rules above still apply.
+            if "." not in unit.module:
+                return
             if public_defs:
                 names = ", ".join(node.name for node in public_defs)
                 yield self.finding(

@@ -1,0 +1,142 @@
+"""seam-purity: no ambient OS authority reachable from the protocol core.
+
+ROADMAP item 1 (a real-socket asyncio runner) only works if the
+simulated twin and the real deployment execute *the same* protocol
+code, with the OS touched exclusively through designated adapter
+modules.  The moment ``time.time()`` or a socket call appears anywhere
+a transport/host/core entry point can reach, the twin diverges: sim
+runs replay differently from wall-clock runs, and the deterministic
+regression suite stops meaning anything.
+
+The per-module determinism pass already bans these names inside the
+simulator packages.  This pass closes the interprocedural hole: a
+helper in *any* product package that a ``transport``/``host``/``core``
+function can reach through the project call graph must be just as pure.
+Reachability is the :class:`~repro.analysis.graph.ProjectGraph`'s
+conservative over-approximation (unknown attribute calls fan out to
+every same-named function), which is the right bias — a possible seam
+violation is worth a look.
+
+Allowed everywhere: ``time.perf_counter`` / ``perf_counter_ns`` (wall
+cost of host processing is a measurement, never simulated behaviour)
+and a *seeded* ``random.Random(seed)``.  Exempt: the designated adapter
+modules in :data:`ADAPTER_MODULES` and the tooling layers (``obs``,
+``analysis``, ``perf``), which may measure the real world.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ProjectPass, dotted_name
+from repro.analysis.graph import FunctionInfo, ProjectGraph, package_of
+
+__all__ = ["SeamPurityPass"]
+
+#: Packages whose functions are protected entry points: anything they
+#: can reach must stay OS-free.
+ROOT_PACKAGES = frozenset({"transport", "host", "core"})
+
+#: Packages where violations are *reported* (product code).  Tooling
+#: layers measure the real world on purpose and are out of scope.
+PRODUCT_PACKAGES = frozenset(
+    {"core", "crypto", "wsc", "netsim", "host", "transport", "app", "baselines"}
+)
+
+#: The blessed clock/entropy/socket seams.  Only these modules may wrap
+#: the OS; everything else gets its time from the event loop and its
+#: randomness from seeded substreams.
+ADAPTER_MODULES = frozenset({"repro.netsim.rng"})
+
+#: Ambient-authority callables, by resolved dotted prefix.
+BANNED_PREFIXES = (
+    "socket.",
+    "select.",
+    "ssl.",
+    "subprocess.",
+)
+
+BANNED_EXACT = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.sleep",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "os.system",
+    }
+)
+
+ALLOWED_EXACT = frozenset({"time.perf_counter", "time.perf_counter_ns"})
+
+
+def _banned_target(resolved: str, call: ast.Call) -> str | None:
+    """The banned dotted target a resolved call names, if any."""
+    if resolved in ALLOWED_EXACT:
+        return None
+    if resolved in BANNED_EXACT:
+        return resolved
+    if any(resolved.startswith(prefix) for prefix in BANNED_PREFIXES):
+        return resolved
+    if resolved == "random.Random":
+        # Seeded streams are deterministic; the no-argument default
+        # seeds from OS entropy and wall clock.
+        if not call.args and not call.keywords:
+            return "random.Random()"
+        return None
+    if resolved.startswith("random."):
+        return resolved  # module-level functions share one global stream
+    return None
+
+
+def _resolve_callee(graph: ProjectGraph, info: FunctionInfo, call: ast.Call) -> str | None:
+    """Absolute dotted name of the call target, through the alias table."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return graph.resolve_name(info.module, func.id)
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    return graph.resolve_dotted(info.module, dotted)
+
+
+class SeamPurityPass(ProjectPass):
+    id = "seam-purity"
+    description = "no wall clock / sockets / OS entropy reachable from the protocol core"
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        roots = sorted(
+            qual
+            for qual, info in graph.functions.items()
+            if package_of(info.module) in ROOT_PACKAGES
+        )
+        reachable = graph.reachable(roots)
+        for qual in sorted(reachable):
+            info = graph.functions[qual]
+            if info.module in ADAPTER_MODULES:
+                continue
+            if package_of(info.module) not in PRODUCT_PACKAGES:
+                continue
+            for call in graph.calls_in(info):
+                resolved = _resolve_callee(graph, info, call)
+                if resolved is None:
+                    continue
+                banned = _banned_target(resolved, call)
+                if banned is None:
+                    continue
+                yield self.finding_at(
+                    info.unit.display_path,
+                    call.lineno,
+                    f"{qual} calls `{banned}` and is reachable from the "
+                    f"{'/'.join(sorted(ROOT_PACKAGES))} seam: ambient OS "
+                    "authority belongs in a designated adapter module "
+                    "(time from the event loop, randomness from "
+                    "netsim.rng substreams)",
+                    symbol=f"ambient:{qual}->{banned}",
+                )

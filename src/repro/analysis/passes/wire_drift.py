@@ -1,0 +1,198 @@
+"""wire-drift: one source of truth for every header width.
+
+The fixed-field chunk format is the paper's entire processing argument:
+a field offset that drifts between the encoder, a docstring, and the
+docs is a silent interoperability bug waiting for the first independent
+implementation.  :mod:`repro.core.wire_table` is the single generated
+truth — field offsets, widths and struct formats for every wire header
+— and this pass cross-checks everything else against it:
+
+- every ``struct.Struct`` assignment carrying a
+  ``# wire-table: <id>`` marker must use exactly that table's format
+  string, and the bindings in :data:`REQUIRED_BINDINGS` must be
+  present (so removing the marker cannot silently detach a format
+  from its table);
+- the offset table in the :mod:`repro.core.codec` docstring must list
+  the chunk-header fields at the generated offsets and widths;
+- the generated block in ``docs/wire-format.md`` must be byte-identical
+  to :func:`repro.core.wire_table.docs_block` (regenerate with
+  ``python -m repro.core.wire_table --write``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleUnit, Pass
+from repro.core.wire_table import CHUNK_HEADER, TABLES, docs_block, extract_block
+
+__all__ = ["WireDriftPass"]
+
+#: ``_NAME = struct.Struct("...")  # wire-table: table-id``
+_MARKER_RE = re.compile(r"#\s*wire-table:\s*([a-z0-9-]+)")
+
+#: Struct constants that MUST stay bound to their table — deleting the
+#: marker comment is itself drift.
+REQUIRED_BINDINGS: dict[str, dict[str, str]] = {
+    "repro.core.codec": {
+        "_HEADER": "chunk-header",
+        "_PACKET_HEADER": "packet-envelope",
+    },
+    "repro.transport.connection": {
+        "_SIG": "signaling-payload",
+    },
+}
+
+#: ``0       TYPE    1     notes`` rows in the codec docstring table.
+_DOC_ROW_RE = re.compile(r"^\s*(\d+)\s+(\S+)\s+(\d+)\b")
+
+
+def _struct_assigns(unit: ModuleUnit) -> Iterator[tuple[str, int, str]]:
+    """``(target, line, format)`` for ``NAME = struct.Struct("...")``."""
+    for node in ast.walk(unit.tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        value = node.value
+        if not isinstance(target, ast.Name) or not isinstance(value, ast.Call):
+            continue
+        func = value.func
+        is_struct = (
+            isinstance(func, ast.Attribute) and func.attr == "Struct"
+        ) or (isinstance(func, ast.Name) and func.id == "Struct")
+        if not is_struct or not value.args:
+            continue
+        fmt = value.args[0]
+        if isinstance(fmt, ast.Constant) and isinstance(fmt.value, str):
+            yield target.id, node.lineno, fmt.value
+
+
+def _marker_on_line(unit: ModuleUnit, line: int) -> str | None:
+    lines = unit.source.splitlines()
+    if 1 <= line <= len(lines):
+        match = _MARKER_RE.search(lines[line - 1])
+        if match:
+            return match.group(1)
+    return None
+
+
+class WireDriftPass(Pass):
+    id = "wire-drift"
+    description = "struct formats, docstring offsets and docs match the header-width table"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        yield from self._check_markers(unit)
+        if unit.module == "repro.core.codec":
+            yield from self._check_docstring(unit)
+            yield from self._check_docs(unit)
+
+    # ------------------------------------------------------------------
+    def _check_markers(self, unit: ModuleUnit) -> Iterator[Finding]:
+        required = dict(REQUIRED_BINDINGS.get(unit.module, {}))
+        for target, line, fmt in _struct_assigns(unit):
+            table_id = _marker_on_line(unit, line)
+            if table_id is None:
+                if target in required:
+                    yield self.finding(
+                        unit,
+                        line,
+                        f"{target} must carry a `# wire-table: "
+                        f"{required[target]}` marker binding it to the "
+                        "generated header-width table",
+                        symbol=f"unmarked:{target}",
+                    )
+                    required.pop(target)
+                continue
+            required.pop(target, None)
+            table = TABLES.get(table_id)
+            if table is None:
+                yield self.finding(
+                    unit,
+                    line,
+                    f"{target} is marked `wire-table: {table_id}` but no "
+                    "such table exists in repro.core.wire_table "
+                    f"(known: {', '.join(sorted(TABLES))})",
+                    symbol=f"unknown-table:{target}",
+                )
+                continue
+            if fmt != table.struct_format:
+                yield self.finding(
+                    unit,
+                    line,
+                    f"{target} format {fmt!r} drifted from wire table "
+                    f"{table_id!r} ({table.struct_format!r}, "
+                    f"{table.total_bytes} bytes)",
+                    symbol=f"format-drift:{target}",
+                )
+        for target, table_id in sorted(required.items()):
+            yield self.finding(
+                unit,
+                1,
+                f"expected `{target} = struct.Struct(...)  # wire-table: "
+                f"{table_id}` in this module but found no such "
+                "assignment",
+                symbol=f"missing-binding:{target}",
+            )
+
+    # ------------------------------------------------------------------
+    def _check_docstring(self, unit: ModuleUnit) -> Iterator[Finding]:
+        doc = ast.get_docstring(unit.tree, clean=False) or ""
+        rows: dict[str, tuple[int, int]] = {}
+        for raw in doc.splitlines():
+            match = _DOC_ROW_RE.match(raw)
+            if match is None:
+                continue
+            offset, name, size = match.groups()
+            rows[name] = (int(offset), int(size))
+        for field in CHUNK_HEADER.fields:
+            have = rows.get(field.name)
+            if have is None:
+                yield self.finding(
+                    unit,
+                    1,
+                    f"codec docstring offset table is missing field "
+                    f"{field.name!r} (offset {field.offset}, "
+                    f"{field.width} bytes)",
+                    symbol=f"doc-missing:{field.name}",
+                )
+            elif have != (field.offset, field.width):
+                yield self.finding(
+                    unit,
+                    1,
+                    f"codec docstring lists {field.name} at offset "
+                    f"{have[0]} size {have[1]}, but the wire table says "
+                    f"offset {field.offset} size {field.width}",
+                    symbol=f"doc-drift:{field.name}",
+                )
+
+    # ------------------------------------------------------------------
+    def _check_docs(self, unit: ModuleUnit) -> Iterator[Finding]:
+        # Resolve the repo root from the analyzed file's real location;
+        # fixture copies of the codec live elsewhere and are skipped.
+        try:
+            root = unit.path.resolve().parents[3]
+        except IndexError:
+            return
+        docs = root / "docs" / "wire-format.md"
+        if not (root / "pyproject.toml").exists() or not docs.exists():
+            return
+        have = extract_block(docs.read_text(encoding="utf-8"))
+        want = docs_block()
+        if have is None:
+            yield self.finding(
+                unit,
+                1,
+                "docs/wire-format.md has no generated header-width block "
+                "(run `python -m repro.core.wire_table --write`)",
+                symbol="docs-block-missing",
+            )
+        elif have != want:
+            yield self.finding(
+                unit,
+                1,
+                "docs/wire-format.md generated block is stale (run "
+                "`python -m repro.core.wire_table --write`)",
+                symbol="docs-block-stale",
+            )

@@ -48,7 +48,7 @@ __all__ = [
     "decode_packet_header",
 ]
 
-_HEADER = struct.Struct(">BBHIIQIQIQ")
+_HEADER = struct.Struct(">BBHIIQIQIQ")  # wire-table: chunk-header
 assert _HEADER.size == HEADER_BYTES
 
 _FLAG_C_ST = 0x01
@@ -61,7 +61,7 @@ SENTINEL_HEADER = b"\x00" * HEADER_BYTES
 #: Packet envelope magic ("chunk" / SIGCOMM '93).
 PACKET_MAGIC = 0xC493
 
-_PACKET_HEADER = struct.Struct(">HBB")
+_PACKET_HEADER = struct.Struct(">HBB")  # wire-table: packet-envelope
 assert _PACKET_HEADER.size == PACKET_HEADER_BYTES
 
 

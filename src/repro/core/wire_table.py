@@ -1,0 +1,250 @@
+"""The single source of truth for wire-format field widths.
+
+The fixed-field chunk header is documented in three places — the
+``struct`` format strings in :mod:`repro.core.codec`, the offset table
+in that module's docstring, and ``docs/wire-format.md`` — and related
+work on recovering wire-format structure (Huntsman 2019, "Unshuffling
+fields in data formats") is a catalogue of what happens when such
+copies drift.  This module is the one authoritative copy: every field
+of every fixed-width wire region as a :class:`WireField` row, with the
+``struct`` format string and the markdown table *derived* from it.
+
+Consumers:
+
+- :mod:`repro.core.codec` and :mod:`repro.transport.connection` mark
+  their ``struct.Struct`` bindings with ``# wire-table: <table-id>``
+  comments; the protolint **wire-drift** pass cross-checks each marked
+  format string against :data:`TABLES`.
+- ``docs/wire-format.md`` embeds the rendered tables between
+  ``<!-- wire-table:begin -->`` / ``<!-- wire-table:end -->`` markers;
+  ``python -m repro.core.wire_table --write`` regenerates the block and
+  the wire-drift pass fails when the committed block is stale.
+- Import-time asserts pin the derived byte totals to the constants in
+  :mod:`repro.core.types`, so this module cannot itself drift from the
+  widths the codec is tested against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import struct
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.types import HEADER_BYTES, PACKET_HEADER_BYTES
+
+__all__ = [
+    "WireField",
+    "WireTable",
+    "CHUNK_HEADER",
+    "PACKET_ENVELOPE",
+    "SIGNALING_PAYLOAD",
+    "TABLES",
+    "BLOCK_BEGIN",
+    "BLOCK_END",
+    "render_markdown",
+    "docs_block",
+    "extract_block",
+    "main",
+]
+
+#: struct format character → byte width, for the unsigned big-endian
+#: integer types the wire formats use.
+_FMT_WIDTHS = {"B": 1, "H": 2, "I": 4, "Q": 8}
+
+BLOCK_BEGIN = "<!-- wire-table:begin -->"
+BLOCK_END = "<!-- wire-table:end -->"
+
+
+@dataclass(frozen=True)
+class WireField:
+    """One fixed-width field: name, byte offset, width, struct char."""
+
+    name: str
+    offset: int
+    width: int
+    fmt: str
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class WireTable:
+    """One contiguous fixed-field wire region."""
+
+    table_id: str
+    title: str
+    fields: tuple[WireField, ...]
+
+    def __post_init__(self) -> None:
+        offset = 0
+        for field in self.fields:
+            if field.offset != offset:
+                raise ValueError(
+                    f"{self.table_id}: field {field.name} at offset "
+                    f"{field.offset}, expected {offset} (fields must tile)"
+                )
+            if _FMT_WIDTHS.get(field.fmt) != field.width:
+                raise ValueError(
+                    f"{self.table_id}: field {field.name} is {field.width} "
+                    f"bytes but struct char {field.fmt!r} is "
+                    f"{_FMT_WIDTHS.get(field.fmt)}"
+                )
+            offset += field.width
+
+    @property
+    def struct_format(self) -> str:
+        """The big-endian ``struct`` format string for the region."""
+        return ">" + "".join(field.fmt for field in self.fields)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(field.width for field in self.fields)
+
+
+CHUNK_HEADER = WireTable(
+    table_id="chunk-header",
+    title="Fixed-field chunk header",
+    fields=(
+        WireField("TYPE", 0, 1, "B", "ChunkType; 0 reserved as sentinel"),
+        WireField("FLAGS", 1, 1, "B", "bit0=C.ST, bit1=T.ST, bit2=X.ST"),
+        WireField("SIZE", 2, 2, "H", "words per atomic unit"),
+        WireField("LEN", 4, 4, "I", "atomic units; 0 marks the sentinel"),
+        WireField("C.ID", 8, 4, "I", "connection id"),
+        WireField("C.SN", 12, 8, "Q", "connection sequence number"),
+        WireField("T.ID", 20, 4, "I", "transport-PDU id"),
+        WireField("T.SN", 24, 8, "Q", "TPDU sequence number"),
+        WireField("X.ID", 32, 4, "I", "external-PDU id"),
+        WireField("X.SN", 36, 8, "Q", "external-PDU sequence number"),
+    ),
+)
+
+PACKET_ENVELOPE = WireTable(
+    table_id="packet-envelope",
+    title="Packet envelope header",
+    fields=(
+        WireField("MAGIC", 0, 2, "H", "0xC493"),
+        WireField("FLAGS", 2, 1, "B", ""),
+        WireField("RESERVED", 3, 1, "B", "zero on the wire"),
+    ),
+)
+
+SIGNALING_PAYLOAD = WireTable(
+    table_id="signaling-payload",
+    title="Connection-establishment signaling payload",
+    fields=(
+        WireField("C.ID", 0, 4, "I", "connection id being established"),
+        WireField("UNIT_WORDS", 4, 2, "H", "SIZE for DATA chunks"),
+        WireField("TPDU_UNITS", 6, 2, "H", "TPDU length in atomic units"),
+        WireField("SIG_FLAGS", 8, 2, "H", "bit0=implicit T.ID, bit1=regen SNs"),
+        WireField("RESERVED0", 10, 1, "B", "zero on the wire"),
+        WireField("RESERVED1", 11, 1, "B", "zero on the wire"),
+    ),
+)
+
+TABLES: dict[str, WireTable] = {
+    table.table_id: table
+    for table in (CHUNK_HEADER, PACKET_ENVELOPE, SIGNALING_PAYLOAD)
+}
+
+# The derived totals must agree with the constants the codec asserts
+# against — if these fire, the authoritative table itself has drifted.
+assert CHUNK_HEADER.total_bytes == HEADER_BYTES
+assert PACKET_ENVELOPE.total_bytes == PACKET_HEADER_BYTES
+assert struct.calcsize(CHUNK_HEADER.struct_format) == HEADER_BYTES
+assert struct.calcsize(SIGNALING_PAYLOAD.struct_format) == SIGNALING_PAYLOAD.total_bytes
+
+
+def render_markdown(table: WireTable) -> str:
+    """One table as GitHub markdown (deterministic, trailing-newline-free)."""
+    lines = [
+        f"### `{table.table_id}` — {table.title} "
+        f"({table.total_bytes} bytes, `\"{table.struct_format}\"`)",
+        "",
+        "| offset | field | bytes | struct | notes |",
+        "|---|---|---|---|---|",
+    ]
+    for field in table.fields:
+        lines.append(
+            f"| {field.offset} | {field.name} | {field.width} "
+            f"| `{field.fmt}` | {field.notes} |"
+        )
+    return "\n".join(lines)
+
+
+def docs_block() -> str:
+    """The full generated block, marker lines included."""
+    parts = [
+        BLOCK_BEGIN,
+        "<!-- Generated by `python -m repro.core.wire_table --write`;",
+        "     checked by the protolint wire-drift pass. Do not edit. -->",
+    ]
+    for table_id in sorted(TABLES):
+        parts.append("")
+        parts.append(render_markdown(TABLES[table_id]))
+    parts.append("")
+    parts.append(BLOCK_END)
+    return "\n".join(parts)
+
+
+def _splice(text: str, block: str) -> str:
+    """Replace (or append) the generated block inside *text*."""
+    begin = text.find(BLOCK_BEGIN)
+    end = text.find(BLOCK_END)
+    if begin != -1 and end != -1 and end > begin:
+        return text[:begin] + block + text[end + len(BLOCK_END):]
+    suffix = "" if text.endswith("\n") else "\n"
+    return text + suffix + "\n## Header-width tables (generated)\n\n" + block + "\n"
+
+
+def extract_block(text: str) -> str | None:
+    """The committed generated block of a docs file, or None."""
+    begin = text.find(BLOCK_BEGIN)
+    end = text.find(BLOCK_END)
+    if begin == -1 or end == -1 or end < begin:
+        return None
+    return text[begin:end + len(BLOCK_END)]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.wire_table",
+        description="render / refresh the generated header-width tables",
+    )
+    parser.add_argument(
+        "--docs",
+        type=Path,
+        default=Path("docs") / "wire-format.md",
+        help="docs file carrying the generated block",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="rewrite the generated block in --docs (default: print it)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when the committed block is stale",
+    )
+    args = parser.parse_args(argv)
+    block = docs_block()
+    if args.check:
+        committed = extract_block(args.docs.read_text(encoding="utf-8"))
+        if committed != block:
+            print(f"wire-table: generated block in {args.docs} is stale", file=sys.stderr)
+            return 1
+        print(f"wire-table: {args.docs} is up to date")
+        return 0
+    if args.write:
+        text = args.docs.read_text(encoding="utf-8")
+        args.docs.write_text(_splice(text, block), encoding="utf-8")
+        print(f"wire-table: wrote generated block to {args.docs}")
+        return 0
+    print(block)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

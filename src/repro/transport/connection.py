@@ -25,7 +25,8 @@ from repro.core.types import WORD_BYTES, ChunkType
 
 __all__ = ["ConnectionConfig", "build_signaling_chunk", "parse_signaling_chunk"]
 
-_SIG = struct.Struct(">IHHHBB")  # conn id, unit words, tpdu units, flags, 2 reserved
+# conn id, unit words, tpdu units, flags, 2 reserved
+_SIG = struct.Struct(">IHHHBB")  # wire-table: signaling-payload
 _SIG_MAGIC_FLAGS_IMPLICIT_TID = 0x0001
 _SIG_MAGIC_FLAGS_REGEN_SNS = 0x0002
 _SIG_KNOWN_FLAGS = _SIG_MAGIC_FLAGS_IMPLICIT_TID | _SIG_MAGIC_FLAGS_REGEN_SNS

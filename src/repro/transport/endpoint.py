@@ -568,7 +568,8 @@ class ChunkEndpoint:
         if delta <= 0:
             return
         connection._touched_bytes = placed
-        connection.ledger.record("nic-to-app", delta)
+        with connection.ledger.acquire("nic-to-app") as span:
+            span.add(delta)
         if self.per_connection_metrics:
             labelled_counter(
                 "host", "touch_bytes_total", conn=connection.connection_id

@@ -1,0 +1,39 @@
+"""Fixture: async-discipline true positives and near misses."""
+
+import asyncio
+import time
+
+__all__ = [
+    "pump_frames",
+    "drain_blocking",
+    "fire_and_forget",
+    "ok_awaited",
+    "ok_task_wrapped",
+]
+
+
+async def pump_frames(frames):
+    out = []
+    for frame in frames:
+        out.append(drain_blocking(frame))
+    return out
+
+
+def drain_blocking(frame):
+    time.sleep(0.01)  # TP: blocks the loop for every connection
+    return frame
+
+
+def fire_and_forget(frames):
+    pump_frames(frames)  # TP: coroutine object created and dropped
+    return len(frames)
+
+
+async def ok_awaited(frames):
+    return await pump_frames(frames)  # near miss: properly awaited
+
+
+def ok_task_wrapped(loop, frames):
+    # Near miss: handing the coroutine to a task runner is ownership
+    # transfer, not a drop.
+    return asyncio.ensure_future(pump_frames(frames), loop=loop)

@@ -1,0 +1,22 @@
+"""Fixture: wire-drift true positives and near misses."""
+
+import struct
+
+__all__ = ["parse_header", "parse_signaling"]
+
+# TP: marked as the chunk header but three fields short of the table.
+_DRIFTED_HEADER = struct.Struct(">BBH")  # wire-table: chunk-header
+
+# TP: marker names a table that does not exist.
+_PHANTOM = struct.Struct(">I")  # wire-table: no-such-table
+
+# Near miss: marker and format agree with the generated table.
+_SIGNALING = struct.Struct(">IHHHBB")  # wire-table: signaling-payload
+
+
+def parse_header(data):
+    return _DRIFTED_HEADER.unpack_from(data)
+
+
+def parse_signaling(data):
+    return _SIGNALING.unpack_from(data)

@@ -1,0 +1,41 @@
+"""Fixture: budget-leak true positives and near misses."""
+
+__all__ = ["leak_on_exception", "discard_token", "double_release", "ok_finally", "ok_with"]
+
+
+def leak_on_exception(budget, payload):
+    # TP: risky() can raise after the acquire; on that edge the lease
+    # never reaches release() and the reservation is lost.
+    lease = budget.acquire("conn-7", len(payload))
+    risky(payload)
+    lease.release()
+
+
+def discard_token(budget):
+    budget.acquire("conn-8", 64)  # TP: token dropped on the floor
+
+
+def double_release(budget):
+    lease = budget.acquire("conn-9", 32)
+    lease.release()
+    lease.release()  # TP: ValueError at runtime
+
+
+def ok_finally(budget, payload):
+    # Near miss: the finally edge covers the exceptional path too.
+    lease = budget.acquire("conn-10", len(payload))
+    try:
+        risky(payload)
+    finally:
+        lease.release()
+
+
+def ok_with(budget, payload):
+    # Near miss: the context manager owns the release.
+    with budget.acquire("conn-11", len(payload)):
+        risky(payload)
+
+
+def risky(payload):
+    if not payload:
+        raise ValueError("empty")

@@ -1,0 +1,359 @@
+"""CFG builder + dataflow framework tests (repro.analysis.cfg/.dataflow).
+
+The budget-leak pass is only as sound as the graph underneath it, so
+these tests drive :func:`build_cfg` over the adversarial shapes from
+ISSUE 6 — nested try/finally, while/else, bare ``raise`` re-raise,
+exception-suppressing ``with``, generators — and assert path-level
+properties (a line is/is not on some path to the exit) rather than
+golden block dumps, so the builder's internal numbering can evolve.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.cfg import EXCEPTION, CFG, build_cfg
+from repro.analysis.dataflow import GenKill, run_forward
+
+
+def func_cfg(src: str) -> CFG:
+    tree = ast.parse(src)
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def stmt_lines(cfg: CFG, block_ids) -> set[int]:
+    out = set()
+    for block_id in block_ids:
+        step = cfg.blocks[block_id].step
+        if step is not None and step.kind == "stmt":
+            out.add(step.line)
+    return out
+
+
+def all_paths(cfg: CFG, start: int | None = None) -> list[list[int]]:
+    """Every cycle-free block path from *start* (default entry) to exit."""
+    start = cfg.entry if start is None else start
+    paths: list[list[int]] = []
+    stack: list[tuple[int, list[int]]] = [(start, [start])]
+    while stack:
+        block_id, path = stack.pop()
+        if block_id == cfg.exit:
+            paths.append(path)
+            continue
+        for edge in cfg.succs(block_id):
+            if edge.dst not in path:
+                stack.append((edge.dst, path + [edge.dst]))
+    return paths
+
+
+def line_of(src: str, needle: str) -> int:
+    for lineno, text in enumerate(src.splitlines(), start=1):
+        if needle in text:
+            return lineno
+    raise AssertionError(f"{needle!r} not in source")
+
+
+class TestNestedTryFinally:
+    SRC = '''
+def f():
+    try:
+        try:
+            risky()
+        finally:
+            inner_cleanup()
+    finally:
+        outer_cleanup()
+    done()
+'''
+
+    def test_return_path_runs_both_finallys(self):
+        src = self.SRC.replace("risky()", "return result()")
+        cfg = func_cfg(src)
+        inner = line_of(src, "inner_cleanup")
+        outer = line_of(src, "outer_cleanup")
+        ret_paths = [
+            p
+            for p in all_paths(cfg)
+            if line_of(src, "return result()") in stmt_lines(cfg, p)
+        ]
+        assert ret_paths
+        for path in ret_paths:
+            lines = stmt_lines(cfg, path)
+            # The return can raise (its value is a call) — on that edge
+            # the finallys run as exception finallys, still both present.
+            assert inner in lines
+            assert outer in lines
+            # A returning path never reaches the statement after the try.
+            assert line_of(src, "done()") not in lines
+
+    def test_exception_path_runs_both_finallys(self):
+        cfg = func_cfg(self.SRC)
+        src = self.SRC
+        inner = line_of(src, "inner_cleanup")
+        outer = line_of(src, "outer_cleanup")
+        # Find the risky() block and follow only its exception edge.
+        risky_blocks = [
+            b
+            for b in cfg.blocks.values()
+            if b.step is not None and b.step.line == line_of(src, "risky()")
+        ]
+        assert len(risky_blocks) == 1
+        exc_edges = [
+            e for e in cfg.succs(risky_blocks[0].id) if e.kind == EXCEPTION
+        ]
+        assert exc_edges
+        for edge in exc_edges:
+            for path in all_paths(cfg, edge.dst):
+                lines = stmt_lines(cfg, path)
+                assert inner in lines
+                assert outer in lines
+                assert line_of(src, "done()") not in lines
+
+    def test_normal_path_reaches_done(self):
+        cfg = func_cfg(self.SRC)
+        lines = {line for p in all_paths(cfg) for line in stmt_lines(cfg, p)}
+        assert line_of(self.SRC, "done()") in lines
+
+
+class TestWhileElse:
+    SRC = '''
+def f(items):
+    while cond():
+        if found():
+            break
+        consume()
+    else:
+        exhausted()
+    after()
+'''
+
+    def test_break_skips_the_else_clause(self):
+        cfg = func_cfg(self.SRC)
+        src = self.SRC
+        break_block = next(
+            b
+            for b in cfg.blocks.values()
+            if b.step is not None and isinstance(b.step.node, ast.Break)
+        )
+        for path in all_paths(cfg, break_block.id):
+            assert line_of(src, "exhausted()") not in stmt_lines(cfg, path)
+
+    def test_exhaustion_runs_else_then_after(self):
+        cfg = func_cfg(self.SRC)
+        src = self.SRC
+        else_paths = [
+            p
+            for p in all_paths(cfg)
+            if line_of(src, "exhausted()") in stmt_lines(cfg, p)
+        ]
+        assert else_paths
+        # On every path that completes normally (exhausted() can itself
+        # raise, leaving by the exception edge), else precedes after().
+        completing = 0
+        for path in else_paths:
+            lines = [
+                cfg.blocks[b].step.line
+                for b in path
+                if cfg.blocks[b].step is not None
+                and cfg.blocks[b].step.kind == "stmt"
+            ]
+            if line_of(src, "after()") not in lines:
+                continue
+            completing += 1
+            assert lines.index(line_of(src, "exhausted()")) < lines.index(
+                line_of(src, "after()")
+            )
+        assert completing
+
+
+class TestBareRaiseReRaise:
+    SRC = '''
+def f():
+    try:
+        risky()
+    except ValueError:
+        cleanup()
+        raise
+    done()
+'''
+
+    def test_bare_raise_propagates_to_exit(self):
+        cfg = func_cfg(self.SRC)
+        raise_block = next(
+            b
+            for b in cfg.blocks.values()
+            if b.step is not None and isinstance(b.step.node, ast.Raise)
+        )
+        exc = [e for e in cfg.succs(raise_block.id) if e.kind == EXCEPTION]
+        assert len(exc) == 1
+        assert exc[0].dst == cfg.exit
+        # and the re-raise path never reaches done()
+        for path in all_paths(cfg, raise_block.id):
+            assert line_of(self.SRC, "done()") not in stmt_lines(cfg, path)
+
+    def test_handled_path_reaches_done(self):
+        cfg = func_cfg(self.SRC)
+        src = self.SRC
+        cleanup_paths = [
+            p
+            for p in all_paths(cfg)
+            if line_of(src, "cleanup()") in stmt_lines(cfg, p)
+        ]
+        assert cleanup_paths  # the handler is reachable
+
+
+class TestCatchAllHandler:
+    def test_catch_all_suppresses_uncaught_propagation(self):
+        src = '''
+def f():
+    try:
+        risky()
+    except Exception:
+        handled()
+    done()
+'''
+        cfg = func_cfg(src)
+        # Every path from entry either handles or completes; no path
+        # leaves the try without passing a handler or the body's normal
+        # completion, i.e. the exception edge out of risky() cannot
+        # reach the exit while skipping both handled() and done().
+        risky = line_of(src, "risky()")
+        for path in all_paths(cfg):
+            lines = stmt_lines(cfg, path)
+            if risky in lines:
+                assert line_of(src, "handled()") in lines or line_of(src, "done()") in lines
+
+    def test_typed_handler_keeps_uncaught_propagation(self):
+        src = '''
+def f():
+    try:
+        risky()
+    except ValueError:
+        handled()
+    done()
+'''
+        cfg = func_cfg(src)
+        escaping = [
+            p
+            for p in all_paths(cfg)
+            if line_of(src, "risky()") in stmt_lines(cfg, p)
+            and line_of(src, "handled()") not in stmt_lines(cfg, p)
+            and line_of(src, "done()") not in stmt_lines(cfg, p)
+        ]
+        assert escaping  # a non-ValueError exception can escape
+
+
+class TestWithSuppression:
+    SRC = '''
+def f(cm):
+    with cm:
+        risky()
+    after()
+'''
+
+    def test_exceptional_exit_both_propagates_and_falls_through(self):
+        cfg = func_cfg(self.SRC)
+        src = self.SRC
+        risky_block = next(
+            b
+            for b in cfg.blocks.values()
+            if b.step is not None
+            and b.step.kind == "stmt"
+            and b.step.line == line_of(src, "risky()")
+        )
+        exc_edges = [e for e in cfg.succs(risky_block.id) if e.kind == EXCEPTION]
+        assert len(exc_edges) == 1
+        exit_exc = cfg.blocks[exc_edges[0].dst]
+        assert exit_exc.step is not None and exit_exc.step.kind == "with-exit"
+        kinds = {e.kind for e in cfg.succs(exit_exc.id)}
+        assert EXCEPTION in kinds  # the manager may re-raise
+        # ... and may suppress: some continuation reaches after().
+        suppressed = [
+            p
+            for p in all_paths(cfg, exit_exc.id)
+            if line_of(src, "after()") in stmt_lines(cfg, p)
+        ]
+        assert suppressed
+
+
+class TestGenerators:
+    SRC = '''
+def gen(items):
+    for item in items:
+        if item:
+            yield item
+    yield None
+'''
+
+    def test_yields_are_ordinary_steps(self):
+        cfg = func_cfg(self.SRC)
+        src = self.SRC
+        lines = {line for p in all_paths(cfg) for line in stmt_lines(cfg, p)}
+        assert line_of(src, "yield item") in lines
+        assert line_of(src, "yield None") in lines
+
+    def test_loop_back_edge_exists(self):
+        cfg = func_cfg(self.SRC)
+        assert any(e.kind == "back" for e in cfg.edges())
+
+
+class TestDeterminism:
+    def test_same_source_builds_identical_graphs(self):
+        src = TestNestedTryFinally.SRC
+        assert func_cfg(src).describe() == func_cfg(src).describe()
+
+
+class TestDataflow:
+    def test_join_over_branches(self):
+        src = '''
+def f(x):
+    if x:
+        a = 1
+    else:
+        b = 2
+    c = 3
+'''
+        cfg = func_cfg(src)
+
+        class ReachingLines(GenKill):
+            def gen(self, step, state):
+                return frozenset(
+                    [step.line] if step.kind == "stmt" else []
+                )
+
+        in_states = run_forward(cfg, ReachingLines())
+        at_exit = in_states[cfg.exit]
+        assert line_of(src, "a = 1") in at_exit
+        assert line_of(src, "b = 2") in at_exit
+        assert line_of(src, "c = 3") in at_exit
+
+    def test_exception_edge_carries_pre_raise_state(self):
+        src = '''
+def f():
+    a = 1
+    risky()
+    b = 2
+'''
+        cfg = func_cfg(src)
+
+        class ReachingLines(GenKill):
+            def gen(self, step, state):
+                return frozenset(
+                    [step.line] if step.kind == "stmt" else []
+                )
+
+        in_states = run_forward(cfg, ReachingLines())
+        # risky() can raise straight to exit, so at exit both the
+        # "b never ran" and "b ran" states are joined: a is certain,
+        # b merely possible — this is a may-analysis and both appear;
+        # the real invariant is that `a = 1` (before the raise) always
+        # arrives at exit even on the exception path alone.
+        risky_block = next(
+            b
+            for b in cfg.blocks.values()
+            if b.step is not None and b.step.line == line_of(src, "risky()")
+        )
+        assert line_of(src, "a = 1") in in_states[risky_block.id]
+        assert line_of(src, "a = 1") in in_states[cfg.exit]

@@ -21,6 +21,22 @@ from repro.core.errors import AnalysisError
 REPO_ROOT = Path(__file__).parents[2]
 FIXTURES = Path(__file__).parent / "fixtures" / "src" / "repro"
 
+ALL_PASS_IDS = [
+    "async-discipline",
+    "budget-leak",
+    "codec-symmetry",
+    "determinism",
+    "exception-discipline",
+    "export-drift",
+    "hot-path-copy",
+    "layering",
+    "mutable-sharing",
+    "rng-flow",
+    "seam-purity",
+    "wire-drift",
+    "wire-width",
+]
+
 
 def run_protolint(*args: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess[str]:
     env = dict(os.environ)
@@ -51,17 +67,23 @@ class TestRealTree:
         assert payload["version"] == 1
         assert payload["findings"] == []
         assert payload["files"] > 40
-        assert sorted(payload["passes"]) == [
-            "codec-symmetry",
-            "determinism",
-            "exception-discipline",
-            "export-drift",
-            "hot-path-copy",
-            "layering",
-            "mutable-sharing",
-            "rng-flow",
-            "wire-width",
-        ]
+        assert sorted(payload["passes"]) == ALL_PASS_IDS
+
+    def test_two_runs_produce_byte_identical_json(self):
+        # Regression for deterministic output ordering: findings are
+        # sorted, pass lists are sorted, and nothing (hash seeds, dict
+        # order, filesystem order) may leak into the report.
+        first = run_protolint("--format", "json", "src/repro")
+        second = run_protolint("--format", "json", "src/repro")
+        assert first.returncode == second.returncode == 0
+        assert first.stdout == second.stdout
+
+    def test_fixture_runs_are_byte_identical_too(self):
+        # Same property when findings are actually present.
+        first = run_protolint("--format", "json", str(FIXTURES))
+        second = run_protolint("--format", "json", str(FIXTURES))
+        assert first.returncode == second.returncode == 1
+        assert first.stdout == second.stdout
 
 
 class TestFixtures:
@@ -75,17 +97,7 @@ class TestFixtures:
         assert result.returncode == 1
         payload = json.loads(result.stdout)
         reported = {finding["pass"] for finding in payload["findings"]}
-        assert reported == {
-            "wire-width",
-            "codec-symmetry",
-            "determinism",
-            "exception-discipline",
-            "export-drift",
-            "layering",
-            "rng-flow",
-            "hot-path-copy",
-            "mutable-sharing",
-        }
+        assert reported == set(ALL_PASS_IDS)
 
     def test_select_limits_passes(self):
         result = run_protolint("--format", "json", "--select", "export-drift", str(FIXTURES))
@@ -137,20 +149,10 @@ class TestBaselineFile:
 
 
 class TestListPasses:
-    def test_lists_all_nine(self):
+    def test_lists_all_thirteen(self):
         result = run_protolint("--list-passes")
         assert result.returncode == 0
-        for pass_id in (
-            "wire-width",
-            "codec-symmetry",
-            "determinism",
-            "exception-discipline",
-            "export-drift",
-            "layering",
-            "rng-flow",
-            "hot-path-copy",
-            "mutable-sharing",
-        ):
+        for pass_id in ALL_PASS_IDS:
             assert pass_id in result.stdout
 
 
@@ -187,6 +189,72 @@ class TestGithubFormat:
         rendered = _render_github([finding])
         assert "a 100%25 broken%0Amulti-line message" in rendered
         assert "\nmulti-line" not in rendered
+
+
+class TestSarifFormat:
+    def test_real_tree_emits_valid_empty_sarif(self):
+        result = run_protolint("--format", "sarif", "src/repro")
+        assert result.returncode == 0, result.stdout + result.stderr
+        log = json.loads(result.stdout)
+        assert log["version"] == "2.1.0"
+        [run] = log["runs"]
+        assert run["tool"]["driver"]["name"] == "protolint"
+        assert run["results"] == []
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert rule_ids == ALL_PASS_IDS
+
+    def test_fixture_findings_carry_locations_and_fingerprints(self):
+        result = run_protolint("--format", "sarif", str(FIXTURES))
+        assert result.returncode == 1
+        log = json.loads(result.stdout)
+        [run] = log["runs"]
+        assert run["results"]
+        for item in run["results"]:
+            assert item["ruleId"] in ALL_PASS_IDS
+            [loc] = item["locations"]
+            physical = loc["physicalLocation"]
+            assert physical["artifactLocation"]["uri"].endswith(".py")
+            assert physical["region"]["startLine"] >= 1
+            assert item["partialFingerprints"]["protolint/v1"]
+
+    def test_sarif_output_is_deterministic(self):
+        first = run_protolint("--format", "sarif", str(FIXTURES))
+        second = run_protolint("--format", "sarif", str(FIXTURES))
+        assert first.stdout == second.stdout
+
+
+class TestConfigFile:
+    def test_repo_config_covers_benchmarks_and_examples(self):
+        config = json.loads((REPO_ROOT / "protolint.config.json").read_text())
+        assert "src/repro" in config["paths"]
+        assert "benchmarks" in config["paths"]
+        assert "examples" in config["paths"]
+        assert any(p.startswith("tests") for p in config["exclude"])
+
+    def test_no_args_run_uses_config_and_is_clean(self):
+        result = run_protolint("--strict", "--format", "json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        # src/repro alone is ~60 files; benchmarks+examples push it up.
+        src_only = json.loads(
+            run_protolint("--format", "json", "src/repro").stdout
+        )
+        assert payload["files"] > src_only["files"]
+
+    def test_explicit_paths_ignore_exclusions(self):
+        # The fixture tree sits under the excluded tests/ prefix but is
+        # analyzed when named explicitly.
+        result = run_protolint("--format", "json", str(FIXTURES))
+        payload = json.loads(result.stdout)
+        assert payload["files"] > 0
+
+    def test_unknown_config_key_is_usage_error(self, tmp_path):
+        bad = tmp_path / "protolint.config.json"
+        bad.write_text(json.dumps({"path": ["src"]}))
+        result = run_protolint("--config", str(bad))
+        assert result.returncode == 2
+        assert "unknown config key" in result.stderr
 
 
 class TestCheckBaseline:

@@ -172,3 +172,97 @@ class TestRealTree:
             real_graph.resolve_name("repro.analysis.cli", "all_passes")
             == "repro.analysis.passes.all_passes"
         )
+
+
+class TestRelativeImports:
+    """`from . import x` / `from .. import y` resolution (ISSUE 6)."""
+
+    TREE = {
+        "netsim/__init__.py": (
+            "from . import events\n"
+            "from .link import Link\n"
+            "__all__ = []\n"
+        ),
+        "netsim/events.py": (
+            '__all__ = ["Event"]\n'
+            "class Event:\n"
+            "    pass\n"
+        ),
+        "netsim/link.py": (
+            "from .events import Event\n"
+            "from ..core.util import helper\n"
+            '__all__ = ["Link"]\n'
+            "class Link:\n"
+            "    pass\n"
+        ),
+        "core/util.py": (
+            '__all__ = ["helper"]\n'
+            "def helper():\n"
+            "    return 1\n"
+        ),
+    }
+
+    def test_package_init_from_dot_import_resolves_to_own_package(self, tmp_path):
+        graph = build(tmp_path, self.TREE)
+        # `from . import events` inside repro/netsim/__init__.py names
+        # repro.netsim (the package itself), binding repro.netsim.events.
+        assert "repro.netsim.events" in graph.imports_of("repro.netsim")
+        assert graph.resolve_name("repro.netsim", "events") == "repro.netsim.events"
+
+    def test_package_init_relative_symbol_import(self, tmp_path):
+        graph = build(tmp_path, self.TREE)
+        assert graph.resolve_name("repro.netsim", "Link") == "repro.netsim.link.Link"
+
+    def test_plain_module_single_dot(self, tmp_path):
+        graph = build(tmp_path, self.TREE)
+        assert graph.resolve_name("repro.netsim.link", "Event") == (
+            "repro.netsim.events.Event"
+        )
+
+    def test_plain_module_double_dot(self, tmp_path):
+        graph = build(tmp_path, self.TREE)
+        assert graph.resolve_name("repro.netsim.link", "helper") == (
+            "repro.core.util.helper"
+        )
+        assert "repro.core.util" in graph.imports_of("repro.netsim.link")
+
+    def test_overreaching_level_drops_edge_without_crash(self, tmp_path):
+        graph = build(
+            tmp_path,
+            {
+                "solo.py": "from ....nowhere import thing\n__all__ = []\n",
+            },
+        )
+        # The bogus edge is dropped, not invented; the unit still loads.
+        assert "repro.solo" in graph.units
+        assert all(
+            e.importer != "repro.solo" or "nowhere" not in e.target
+            for e in graph.import_edges
+        )
+
+
+class TestImportCycles:
+    CYCLE = {
+        "host/alpha.py": (
+            "from repro.host.beta import b\n"
+            '__all__ = ["a"]\n'
+            "def a():\n"
+            "    return b()\n"
+        ),
+        "host/beta.py": (
+            "from repro.host.alpha import a\n"
+            '__all__ = ["b"]\n'
+            "def b():\n"
+            "    return a()\n"
+        ),
+    }
+
+    def test_cycle_keeps_both_edges(self, tmp_path):
+        graph = build(tmp_path, self.CYCLE)
+        assert "repro.host.beta" in graph.imports_of("repro.host.alpha")
+        assert "repro.host.alpha" in graph.imports_of("repro.host.beta")
+
+    def test_reachability_terminates_across_the_cycle(self, tmp_path):
+        graph = build(tmp_path, self.CYCLE)
+        reached = graph.reachable(["repro.host.alpha.a"])
+        assert reached == {"repro.host.alpha.a", "repro.host.beta.b"}

@@ -156,10 +156,22 @@ class TestExportDrift:
         assert found == {"phantom:ghost_function", "unexported:stowaway_function"}
 
     def test_missing_all_is_reported(self, tmp_path):
-        mod = tmp_path / "noall.py"
+        mod = tmp_path / "repro" / "core" / "noall.py"
+        mod.parent.mkdir(parents=True)
         mod.write_text("def public_thing():\n    return 1\n")
         found = symbols(findings_for(ExportDriftPass(), mod))
         assert "__all__:missing" in found
+
+    def test_entry_point_scripts_owe_no_all(self, tmp_path):
+        # Top-level scripts (benchmarks/, examples/) have no importable
+        # surface; only the phantom/literal rules apply to them.
+        script = tmp_path / "bench_thing.py"
+        script.write_text("def main():\n    return 1\n")
+        assert findings_for(ExportDriftPass(), script) == []
+        phantom = tmp_path / "bench_phantom.py"
+        phantom.write_text('__all__ = ["missing_name"]\n')
+        found = symbols(findings_for(ExportDriftPass(), phantom))
+        assert "phantom:missing_name" in found
 
     def test_clean_module_passes(self):
         assert findings_for(ExportDriftPass(), CLEAN) == []

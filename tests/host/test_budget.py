@@ -115,3 +115,80 @@ def test_two_buffers_one_connection_compete_under_one_key():
     assert budget.held(5) == 2000
     assert budget.release(5) == 2000
     assert budget.reserved_total == 0
+
+
+class TestBudgetLease:
+    def test_acquire_registers_and_reserves(self):
+        budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+        lease = budget.acquire("a", 200)
+        assert lease.key == "a"
+        assert lease.held_bytes == 200
+        assert budget.held("a") == 200
+
+    def test_grow_extends_the_reservation(self):
+        budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+        lease = budget.acquire("a", 100)
+        lease.grow(50)
+        assert lease.held_bytes == 150
+        assert budget.held("a") == 150
+
+    def test_release_returns_bytes_to_the_pool(self):
+        budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+        lease = budget.acquire("a", 300)
+        freed = lease.release()
+        assert freed == 300
+        assert budget.held("a") == 0
+        assert lease.released
+
+    def test_double_release_raises(self):
+        budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+        lease = budget.acquire("a", 100)
+        lease.release()
+        with pytest.raises(ValueError):
+            lease.release()
+
+    def test_grow_after_release_raises(self):
+        budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+        lease = budget.acquire("a", 100)
+        lease.release()
+        with pytest.raises(ValueError):
+            lease.grow(10)
+
+    def test_refused_acquire_raises_and_counts(self):
+        budget = SharedPlacementBudget(pool_bytes=300, min_share_bytes=100)
+        budget.register("a")
+        budget.register("b")
+        budget.register("c")
+        with pytest.raises(BudgetExceededError):
+            budget.acquire("d", 10)
+        assert budget.was_refused("d")
+
+    def test_context_manager_releases_once(self):
+        budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+        with budget.acquire("a", 100) as lease:
+            assert budget.held("a") == 100
+        assert budget.held("a") == 0
+        assert lease.released
+
+    def test_context_manager_respects_manual_release(self):
+        budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+        with budget.acquire("a", 100) as lease:
+            lease.release()
+        assert lease.released  # __exit__ did not double-release
+
+    def test_release_after_wholesale_evict_is_clamped(self):
+        # sweep() releases a connection's whole key; a straggler lease
+        # releasing afterwards must not double-subtract from the pool.
+        budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+        lease = budget.acquire("a", 300)
+        budget.release("a")  # wholesale eviction
+        assert budget.reserved_total == 0
+        lease.release()
+        assert budget.reserved_total == 0
+
+    def test_placement_buffer_grows_one_lease_in_place(self):
+        budget = SharedPlacementBudget(pool_bytes=1000, min_share_bytes=100)
+        buffer = PlacementBuffer(limit_bytes=None, budget=budget, budget_key="k")
+        buffer.place(0, b"x" * 100)
+        buffer.place(100, b"y" * 100)
+        assert budget.held("k") == 200
