@@ -84,6 +84,9 @@ EXPERIMENTS = [
     ("ABL", "bench_abl_design", "Ablations — this implementation's own knobs",
      "(Implementation study.) The paper leaves the router combining window, the TPDU size, and the atomic-unit SIZE open.",
      "Batch window cuts big-network packets ~6x for sub-millisecond added completion; ED overhead scales inversely with TPDU size (21.9% at 64 units -> 0.34% at 4096); larger atomic units waste MTU tails (19.6% -> 25.2% wire overhead from SIZE=1 to SIZE=16 at MTU 296)."),
+    ("ADV", "bench_adversarial", "Adversarial study — attacks vs. the invariant harness",
+     "(Not in the paper.) Consequences of the labelling design under deliberate attack: inconsistent-overlap forgery (the OS/NIDS reassembly-gap attack), pathological reorder, signaling storms, C.ID churn, slow-loris tricklers.",
+     "Reorder is free (labels, not order, carry meaning: 6/6 complete, fairness 1.0); overlap forgery is always detected as a content disagreement — forge-after costs nothing (6/6 complete, every forgery refused), poison-first degrades to visible denial of service (0/6 complete, senders give up; never silent corruption); floods are swept into FIFO-bounded tombstone caches and slow-loris tricklers are evicted on throughput grounds, after which honest conversations complete fairly."),
 ]
 
 HEADER = """# EXPERIMENTS — paper vs. measured

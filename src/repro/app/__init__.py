@@ -1,7 +1,14 @@
 """The paper's motivating applications: bulk transfer into an address
-space and video frame placement — both able to consume disordered data.
+space and video frame placement — both able to consume disordered data
+— plus the adversarial scenarios that stress them.
 """
 
+from repro.app.adversarial import (
+    SCENARIOS,
+    AttackReport,
+    check_invariants,
+    jain_fairness,
+)
 from repro.app.bulk import BulkTransferApp
 from repro.app.concurrent import (
     ConcurrentWorkload,
@@ -21,4 +28,8 @@ __all__ = [
     "ConversationSpec",
     "deterministic_payload",
     "staggered_specs",
+    "AttackReport",
+    "SCENARIOS",
+    "check_invariants",
+    "jain_fairness",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "SimSanError",
     "EndpointError",
     "BudgetExceededError",
+    "InconsistentOverlapError",
 ]
 
 
@@ -105,6 +106,24 @@ class EndpointError(ReproError):
     """A multiplexed endpoint operation is invalid: opening a connection
     whose C.ID is already in use, sending on a closed or evicted
     connection, or exceeding the endpoint's connection capacity."""
+
+
+class InconsistentOverlapError(ReproError, ValueError):
+    """A placement overlaps already-placed bytes with *different* data.
+
+    Consistent overlaps (retransmissions, duplicated frames) are normal
+    and silently merged; an inconsistent overlap means two senders — or
+    one sender and an on-path forger — disagree about the stream's
+    content.  TCP reassemblers resolve this silently (first-wins,
+    last-wins, OS-dependent), which is exactly the ambiguity NIDS
+    evasion exploits; placement instead *detects* it and refuses the
+    chunk, so the disagreement is visible (the TPDU never verifies, the
+    honest sender retries or gives up) rather than resolved by accident.
+
+    Also a ``ValueError`` so callers that treat placement failures as
+    chunk rejection keep working — but catch it *before* ``ValueError``
+    to count it distinctly.
+    """
 
 
 class BudgetExceededError(ReproError, ValueError):

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from types import TracebackType
 
+from repro.core.bounded import BoundedSet
 from repro.core.errors import BudgetExceededError
 from repro.obs import counter, gauge
 
@@ -58,7 +59,10 @@ class SharedPlacementBudget:
     reserved_total: int = 0
     peak_reserved: int = 0
     refusals: int = 0
-    refused_keys: set[object] = field(default_factory=set)
+    #: negative cache of refused keys, FIFO-bounded so identifier churn
+    #: cannot grow it without limit (a forgotten key simply loses its
+    #: :meth:`was_refused` history — counted, not silent).
+    refused_keys: BoundedSet = field(default_factory=BoundedSet)
 
     # ------------------------------------------------------------------
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.intervals import IntervalSet
-from repro.core.errors import BudgetExceededError
+from repro.core.errors import BudgetExceededError, InconsistentOverlapError
 from repro.host.budget import BudgetLease, SharedPlacementBudget
 
 __all__ = ["PlacementBuffer", "FrameStore"]
@@ -49,9 +49,21 @@ class PlacementBuffer:
     _received: IntervalSet = field(default_factory=IntervalSet)
     bytes_placed: int = 0
     duplicate_bytes: int = 0
+    #: writes refused because they overlapped placed bytes with
+    #: *different* content (forged/inconsistent fragments).
+    overlap_conflicts: int = 0
 
     def place(self, offset: int, data: bytes) -> int:
-        """Write *data* at *offset*; returns the count of fresh bytes."""
+        """Write *data* at *offset*; returns the count of fresh bytes.
+
+        Raises:
+            InconsistentOverlapError: *data* overlaps already-placed
+                bytes with different content.  Nothing is written — the
+                buffer never silently resolves a content disagreement
+                (first-wins and last-wins are both NIDS-evasion bugs).
+            ValueError: the write falls outside the region bounds.
+            BudgetExceededError: the shared pool refused the growth.
+        """
         if not data:
             return 0
         end = offset + len(data)
@@ -64,6 +76,22 @@ class PlacementBuffer:
                 f"write [{offset}, {end}) beyond the {self.limit_bytes}-byte "
                 f"region limit (corrupted sequence number?)"
             )
+        if self._received and self._received.overlaps(offset, end):
+            # The views are released before any region growth below —
+            # a live export would pin the bytearray's size.
+            with memoryview(self._data) as placed, memoryview(data) as incoming:
+                for s, e in self._received.intervals():
+                    if e <= offset:
+                        continue
+                    if s >= end:
+                        break
+                    lo, hi = max(s, offset), min(e, end)
+                    if placed[lo:hi] != incoming[lo - offset : hi - offset]:
+                        self.overlap_conflicts += 1
+                        raise InconsistentOverlapError(
+                            f"write [{offset}, {end}) disagrees with already-"
+                            f"placed bytes in [{lo}, {hi})"
+                        )
         if len(self._data) < end:
             growth = end - len(self._data)
             if self.budget is not None:

@@ -4,9 +4,12 @@ A :class:`Link` moves opaque byte frames from its input to a delivery
 callback with serialization delay (frame length / rate), propagation
 delay, and optional impairments: loss, single-bit corruption, and
 duplication.  Frames never reorder *within* one link (it is FIFO);
-disorder in the simulator arises from loss/retransmission and from
+disorder in the simulator arises from loss/retransmission, from
 multipath striping (:mod:`repro.netsim.multipath`), which is exactly the
-paper's taxonomy of disordering causes (Section 1).
+paper's taxonomy of disordering causes (Section 1), and — when a
+``reorder`` policy from :mod:`repro.netsim.adversary` is plugged in —
+from pathological delivery models (almost-sorted displacement,
+interrupt-coalescing batch inversion) applied to arrival times.
 """
 
 from __future__ import annotations
@@ -20,6 +23,8 @@ from repro.obs import counter, gauge
 
 if TYPE_CHECKING:
     import random
+
+    from repro.netsim.adversary import ReorderPolicy
 
 __all__ = ["Link", "LinkStats"]
 
@@ -65,6 +70,10 @@ class Link:
         loss_rate / corrupt_rate / dup_rate: independent per-frame
             impairment probabilities.
         rng: the link's private random stream.
+        reorder: optional delivery-time policy (see
+            :mod:`repro.netsim.adversary`); maps each frame's nominal
+            arrival time to a possibly displaced release time, breaking
+            the FIFO guarantee deterministically.
     """
 
     loop: EventLoop
@@ -76,6 +85,7 @@ class Link:
     corrupt_rate: float = 0.0
     dup_rate: float = 0.0
     rng: random.Random = field(default_factory=default_rng)
+    reorder: ReorderPolicy | None = None
     stats: LinkStats = field(default_factory=LinkStats)
 
     _busy_until: float = field(default=0.0, init=False)
@@ -102,6 +112,8 @@ class Link:
         tx_time = len(frame) * 8 / self.rate_bps
         self._busy_until = start + tx_time
         arrival = self._busy_until + self.delay
+        if self.reorder is not None:
+            arrival = max(self.reorder.release_time(arrival, self.loop.now), self.loop.now)
 
         copies = 1
         if self.dup_rate and self.rng.random() < self.dup_rate:

@@ -20,7 +20,7 @@ regardless of how many routers re-enveloped them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Literal
+from typing import TYPE_CHECKING, Callable, Literal
 
 from repro.core.chunk import Chunk
 from repro.core.errors import CodecError
@@ -29,6 +29,9 @@ from repro.core.reassemble import coalesce
 from repro.core.types import PACKET_HEADER_BYTES
 from repro.netsim.events import EventLoop
 from repro.obs import counter, gauge
+
+if TYPE_CHECKING:
+    from repro.netsim.adversary import ReorderPolicy
 
 __all__ = ["ChunkRouter", "RouterStats", "RepackMode"]
 
@@ -71,6 +74,9 @@ class ChunkRouter:
             so chunks from several arriving packets can share outgoing
             envelopes (methods 2 and 3 pay off across packets); 0 means
             strictly per-frame operation.
+        reorder: optional delivery-time policy applied to outgoing
+            frames (see :mod:`repro.netsim.adversary`), modelling a
+            router whose egress scheduling disorders traffic.
     """
 
     loop: EventLoop
@@ -79,6 +85,7 @@ class ChunkRouter:
     mode: RepackMode = "repack"
     processing_delay: float = 5e-6
     batch_window: float = 0.0
+    reorder: ReorderPolicy | None = None
     stats: RouterStats = field(default_factory=RouterStats)
 
     _pending: list[Chunk] = field(default_factory=list, init=False)
@@ -148,7 +155,12 @@ class ChunkRouter:
             self.stats.bytes_out += len(data)
             _OBS_FRAMES_OUT.inc()
             delay = self.processing_delay * (index + 1)
-            self.loop.schedule(delay, lambda d=data: self.forward(d))
+            if self.reorder is not None:
+                nominal = self.loop.now + delay
+                out = max(self.reorder.release_time(nominal, self.loop.now), self.loop.now)
+                self.loop.at(out, lambda d=data: self.forward(d))
+            else:
+                self.loop.schedule(delay, lambda d=data: self.forward(d))
 
     def flush_now(self) -> None:
         """Force out any batched chunks (end-of-run drain)."""

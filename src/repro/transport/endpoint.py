@@ -33,6 +33,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.bounded import BoundedSet
 from repro.core.chunk import Chunk
 from repro.core.errors import CodecError, EndpointError, SignalingError
 from repro.core.packet import Packet, pack_chunks
@@ -83,6 +84,11 @@ _OBS_ADMISSION_REFUSED = counter(
     "endpoint.connections_refused",
     "establishments refused (budget admission or capacity)",
 )
+_OBS_STALLED = counter(
+    "transport",
+    "endpoint.stalled_evictions",
+    "connections evicted for making no receive progress (slow-loris defense)",
+)
 _OBS_ACTIVE = gauge("transport", "endpoint.connections_active", "current table size")
 _OBS_PACKETS_SENT = counter("transport", "endpoint.packets_sent", "egress packets packed")
 _OBS_MIXED_PACKETS = counter(
@@ -121,6 +127,11 @@ class Connection:
     payload_bytes_in: int = 0
     _endpoint: "ChunkEndpoint | None" = field(default=None, repr=False)
     _touched_bytes: int = field(default=0, repr=False)
+    #: progress-policing watermark: payload bytes seen at the start of
+    #: the current progress window (slow-loris defense, see
+    #: :attr:`ChunkEndpoint.min_progress_bytes`).
+    _progress_bytes: int = field(default=0, repr=False)
+    _progress_marked_at: float = field(default=-1.0, repr=False)
 
     @property
     def connection_id(self) -> int:
@@ -180,10 +191,13 @@ class ConnectionTable:
     Eviction leaves a tombstone in ``evicted_ids`` so late chunks for a
     reclaimed conversation are refused as *evicted* (distinguishable
     from never-established C.IDs) without holding per-connection state.
+    The tombstone set itself is FIFO-bounded (:class:`BoundedSet`) so
+    C.ID churn cannot grow it without limit; a late chunk for a
+    *forgotten* tombstone degrades to the ``refused_unknown`` count.
     """
 
     connections: dict[int, Connection] = field(default_factory=dict)
-    evicted_ids: set[int] = field(default_factory=set)
+    evicted_ids: BoundedSet = field(default_factory=BoundedSet)
     established_total: int = 0
     closed_total: int = 0
     evicted_total: int = 0
@@ -302,6 +316,18 @@ class ChunkEndpoint:
     flush_window: float = 0.0
     #: create per-connection labelled obs counters (``conn=<C.ID>``).
     per_connection_metrics: bool = True
+    #: slow-loris defense: when set, :meth:`sweep` evicts any
+    #: established receiver conversation whose payload intake grew by
+    #: fewer than this many bytes over a full ``progress_window`` —
+    #: trickling keep-alive traffic refreshes ``last_activity`` but
+    #: cannot pin a fair share forever.  ``None`` disables policing.
+    min_progress_bytes: int | None = None
+    #: seconds over which ``min_progress_bytes`` of intake is required.
+    progress_window: float = 10.0
+    #: observation seam: called with each connection at eviction time,
+    #: *before* its sessions are dropped — harnesses snapshot delivery
+    #: state here, since eviction reclaims it.
+    on_evict: Callable[[Connection], None] | None = None
 
     packets_received: int = 0
     decode_failures: int = 0
@@ -309,6 +335,7 @@ class ChunkEndpoint:
     refused_evicted: int = 0
     acks_unroutable: int = 0
     connections_refused: int = 0
+    stalled_evictions: int = 0
     bytes_sent: int = 0
     packets_sent: int = 0
     mixed_packets: int = 0
@@ -602,15 +629,59 @@ class ChunkEndpoint:
         linger = self.idle_timeout if self.close_linger is None else self.close_linger
         evicted: list[int] = []
         for cid in self.table.idle_connections(at, self.idle_timeout, linger):
-            connection = self.table.evict(cid)
-            if connection is None:
+            if self._evict(cid, at):
+                evicted.append(cid)
+        evicted.extend(self._police_progress(at))
+        return evicted
+
+    def _evict(self, cid: int, at: float) -> bool:
+        connection = self.table.evict(cid)
+        if connection is None:
+            return False
+        if self.on_evict is not None:
+            self.on_evict(connection)
+        connection.receiver = None
+        connection.sender = None
+        self.budget.release(cid)
+        if _OBS_TRACE:
+            _OBS_TRACE.event("conn_evicted", t=at, conn=cid)
+        return True
+
+    def _police_progress(self, at: float) -> list[int]:
+        """Evict established receiver conversations that trickled fewer
+        than ``min_progress_bytes`` over a whole ``progress_window``.
+
+        Idle-timeout eviction is activity-based, which a slow-loris
+        attacker defeats by trickling one tiny chunk per window — each
+        touch refreshes ``last_activity`` while the conversation pins a
+        fair share of the placement pool forever.  Progress policing is
+        *throughput*-based: keep-alives don't count, only payload bytes
+        do.
+        """
+        if self.min_progress_bytes is None:
+            return []
+        evicted: list[int] = []
+        for cid, connection in list(self.table.connections.items()):
+            if (
+                connection.receiver is None
+                or connection.state is not ConnectionState.ESTABLISHED
+            ):
                 continue
-            connection.receiver = None
-            connection.sender = None
-            self.budget.release(cid)
-            evicted.append(cid)
-            if _OBS_TRACE:
-                _OBS_TRACE.event("conn_evicted", t=at, conn=cid)
+            marked = connection._progress_marked_at
+            if marked < 0:
+                marked = connection.established_at
+                connection._progress_marked_at = marked
+            if at - marked < self.progress_window:
+                continue
+            delta = connection.payload_bytes_in - connection._progress_bytes
+            if delta < self.min_progress_bytes:
+                if self._evict(cid, at):
+                    self.stalled_evictions += 1
+                    _OBS_STALLED.inc()
+                    evicted.append(cid)
+            else:
+                connection._progress_bytes = connection.payload_bytes_in
+                connection._progress_marked_at = at
         return evicted
 
     # ------------------------------------------------------------------
@@ -626,6 +697,9 @@ class ChunkEndpoint:
             "refused_evicted": self.refused_evicted,
             "acks_unroutable": self.acks_unroutable,
             "connections_refused": self.connections_refused,
+            "stalled_evictions": self.stalled_evictions,
+            "tombstones": len(self.table.evicted_ids),
+            "tombstones_dropped": self.table.evicted_ids.dropped,
             "packets_received": self.packets_received,
             "decode_failures": self.decode_failures,
             "packets_sent": self.packets_sent,

@@ -23,7 +23,7 @@ from repro.core.errors import CodecError, SignalingError
 from repro.core.packet import Packet
 from repro.core.types import ChunkType
 from repro.core.virtual import VirtualReassembler
-from repro.core.errors import BudgetExceededError
+from repro.core.errors import BudgetExceededError, InconsistentOverlapError
 from repro.host.delivery import FrameStore, PlacementBuffer
 from repro.obs import counter, histogram
 from repro.transport.connection import ConnectionConfig, parse_signaling_chunk
@@ -54,6 +54,11 @@ _OBS_BUDGET_REFUSED = counter(
     "transport",
     "receiver.budget_refused_chunks",
     "chunks whose placement the shared budget refused (not acknowledged)",
+)
+_OBS_OVERLAP_CONFLICT = counter(
+    "transport",
+    "receiver.overlap_conflict_chunks",
+    "chunks refused for overlapping placed bytes with different content",
 )
 _OBS_OOO_DISTANCE = histogram(
     "transport",
@@ -113,6 +118,12 @@ class ChunkTransportReceiver:
     #: silent data loss, so the TPDU stays pending and the sender's
     #: retransmission retries (or gives up) instead.
     budget_refused_chunks: int = 0
+    #: chunks refused because their bytes *disagree* with bytes already
+    #: placed at the same offsets (inconsistent-overlap forgery).  Like
+    #: budget refusals these never reach the verifier: the disagreement
+    #: must stay visible (unverified TPDU, sender retry/give-up), never
+    #: be resolved silently by first- or last-write-wins.
+    overlap_conflict_chunks: int = 0
     closed: bool = False
     #: the in-order arrival frontier (next C.SN if nothing reordered);
     #: feeds the out-of-order distance histogram.
@@ -185,6 +196,10 @@ class ChunkTransportReceiver:
             else:
                 _OBS_DATA_TOUCHES.inc()
                 _OBS_DATA_TOUCH_BYTES.inc(fresh)
+        except InconsistentOverlapError:
+            self.overlap_conflict_chunks += 1
+            _OBS_OVERLAP_CONFLICT.inc()
+            return  # unacknowledged: the content disagreement stays visible
         except BudgetExceededError:
             self.budget_refused_chunks += 1
             _OBS_BUDGET_REFUSED.inc()
@@ -201,6 +216,10 @@ class ChunkTransportReceiver:
             )
             if frame_done:
                 events.completed_frames.append(chunk.x.ident)
+        except InconsistentOverlapError:
+            self.overlap_conflict_chunks += 1
+            _OBS_OVERLAP_CONFLICT.inc()
+            return
         except BudgetExceededError:
             self.budget_refused_chunks += 1
             _OBS_BUDGET_REFUSED.inc()

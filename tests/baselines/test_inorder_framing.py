@@ -1,16 +1,10 @@
 """Unit tests for the in-order transport baseline and the Appendix B matrix."""
 
-import random
-
 import pytest
 
 from repro.baselines.framing_info import FIELDS, PROTOCOLS, Presence, matrix_rows
 from repro.baselines.inorder import InOrderReceiver, Segment, segment_stream
-
-
-def _payload(n, seed=0):
-    rng = random.Random(seed)
-    return bytes(rng.randrange(256) for _ in range(n))
+from tests.helpers import deterministic_bytes as _payload
 
 
 def _receiver():

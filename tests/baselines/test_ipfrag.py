@@ -12,11 +12,7 @@ from repro.baselines.ipfrag import (
     fragment_datagram,
     refragment,
 )
-
-
-def _payload(n, seed=0):
-    rng = random.Random(seed)
-    return bytes(rng.randrange(256) for _ in range(n))
+from tests.helpers import deterministic_bytes as _payload
 
 
 class TestFragmentation:

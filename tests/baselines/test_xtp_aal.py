@@ -1,7 +1,5 @@
 """Unit tests for the XTP and AAL baselines."""
 
-import random
-
 import pytest
 
 from repro.baselines.aal import (
@@ -19,11 +17,7 @@ from repro.baselines.xtp import (
     packetize,
     repacketize,
 )
-
-
-def _payload(n, seed=0):
-    rng = random.Random(seed)
-    return bytes(rng.randrange(256) for _ in range(n))
+from tests.helpers import deterministic_bytes as _payload
 
 
 class TestXtpPdu:

@@ -1,4 +1,9 @@
-"""Shared test helpers and fixtures."""
+"""Shared fixtures, hypothesis profiles, and the simsan hook.
+
+Data builders live in :mod:`tests.helpers`; they are re-exported here
+so existing ``from tests.conftest import make_chunk`` imports keep
+working.
+"""
 
 from __future__ import annotations
 
@@ -7,9 +12,9 @@ import random
 
 import pytest
 
-from repro.core.chunk import Chunk
-from repro.core.tuples import FramingTuple
-from repro.core.types import WORD_BYTES, ChunkType
+from tests.helpers import deterministic_bytes, make_chunk, make_payload
+
+__all__ = ["deterministic_bytes", "make_chunk", "make_payload", "rng"]
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -51,39 +56,6 @@ try:
     _hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 except ImportError:  # pragma: no cover - hypothesis is a dev dependency
     pass
-
-
-def make_payload(units: int, size: int = 1, seed: int = 1) -> bytes:
-    """Deterministic payload of *units* atomic units of *size* words."""
-    rng = random.Random(seed)
-    return bytes(rng.randrange(256) for _ in range(units * size * WORD_BYTES))
-
-
-def make_chunk(
-    units: int = 8,
-    size: int = 1,
-    c_id: int = 1,
-    c_sn: int = 0,
-    c_st: bool = False,
-    t_id: int = 10,
-    t_sn: int = 0,
-    t_st: bool = False,
-    x_id: int = 100,
-    x_sn: int = 0,
-    x_st: bool = False,
-    seed: int = 1,
-    payload: bytes | None = None,
-) -> Chunk:
-    """A DATA chunk with sensible defaults for tests."""
-    return Chunk(
-        type=ChunkType.DATA,
-        size=size,
-        length=units,
-        c=FramingTuple(c_id, c_sn, c_st),
-        t=FramingTuple(t_id, t_sn, t_st),
-        x=FramingTuple(x_id, x_sn, x_st),
-        payload=payload if payload is not None else make_payload(units, size, seed),
-    )
 
 
 @pytest.fixture

@@ -47,6 +47,45 @@ def test_single_pair_fast_path_passes_frames_verbatim():
     assert net.undecodable_frames == 0
 
 
+def test_single_pair_fast_path_is_byte_and_metric_identical_to_demux():
+    """The fast path is an optimization, not a semantic: with one pair,
+    delivering verbatim and decode-route-reencode must produce the same
+    frames at the same simulated times with the same counters."""
+
+    def run(force_general_path: bool):
+        loop = EventLoop()
+        net, sinks = fast_net(loop, pairs=1)
+        if force_general_path:
+            net.bind(1, net.ports[0])  # any bound route disables the fast path
+        for i in range(12):
+            # Mixed envelopes: bound C.ID 1 plus unbound C.ID 2 (which
+            # falls back to port 0 either way).
+            net.ports[0].send(
+                Packet(
+                    chunks=[make_chunk(c_id=1, t_id=i), make_chunk(c_id=2, t_id=i)]
+                ).encode()
+            )
+            net.ports[0].send_reverse(
+                Packet(chunks=[make_chunk(c_id=1, t_id=i, x_id=7)]).encode()
+            )
+        loop.run()
+        forward, reverse = sinks[0]
+        return (
+            forward.frames,
+            reverse.frames,
+            (
+                net.frames_forward,
+                net.frames_reverse,
+                net.split_frames,
+                net.misrouted_chunks,
+                net.undecodable_frames,
+            ),
+            loop.now,
+        )
+
+    assert run(force_general_path=False) == run(force_general_path=True)
+
+
 def test_chunks_route_to_bound_ports_by_connection_id():
     loop = EventLoop()
     net, sinks = fast_net(loop, pairs=3)

@@ -1,0 +1,59 @@
+"""Unit tests for the shared data builders in :mod:`tests.helpers`."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.packet import Packet
+from repro.core.types import WORD_BYTES, ChunkType
+from tests.helpers import deterministic_bytes, make_chunk, make_payload
+
+
+@given(n=st.integers(0, 512), seed=st.integers(0, 10_000))
+def test_deterministic_bytes_is_a_pure_function(n, seed):
+    assert deterministic_bytes(n, seed) == deterministic_bytes(n, seed)
+    assert len(deterministic_bytes(n, seed)) == n
+
+
+@given(
+    short=st.integers(0, 128),
+    extra=st.integers(1, 128),
+    seed=st.integers(0, 10_000),
+)
+def test_deterministic_bytes_seeds_are_prefix_stable_streams(short, extra, seed):
+    long = deterministic_bytes(short + extra, seed)
+    assert deterministic_bytes(short, seed) == long[:short]
+
+
+def test_different_seeds_differ():
+    assert deterministic_bytes(64, 1) != deterministic_bytes(64, 2)
+
+
+@given(
+    units=st.integers(1, 64),
+    size=st.integers(1, 4),
+    seed=st.integers(0, 1000),
+)
+def test_make_payload_length_and_determinism(units, size, seed):
+    payload = make_payload(units, size, seed)
+    assert len(payload) == units * size * WORD_BYTES
+    assert payload == deterministic_bytes(units * size * WORD_BYTES, seed)
+
+
+@given(units=st.integers(1, 32), size=st.sampled_from([1, 2]))
+def test_make_chunk_is_wire_valid(units, size):
+    chunk = make_chunk(units=units, size=size)
+    assert chunk.type is ChunkType.DATA
+    assert chunk.length == units
+    assert len(chunk.payload) == units * size * WORD_BYTES
+    assert Packet.decode(Packet(chunks=[chunk]).encode()).chunks == [chunk]
+
+
+def test_make_chunk_honors_explicit_labels_and_payload():
+    chunk = make_chunk(
+        units=2, c_id=7, c_sn=3, c_st=True, t_sn=5, x_sn=9, payload=b"\x01" * 8
+    )
+    assert (chunk.c.ident, chunk.c.sn, chunk.c.st) == (7, 3, True)
+    assert chunk.t.sn == 5 and chunk.x.sn == 9
+    assert chunk.payload == b"\x01" * 8

@@ -377,3 +377,58 @@ def test_unknown_type_chunk_through_endpoint_does_not_crash():
     endpoint.receive_packet(Packet(chunks=[stray]).encode())
     connection = endpoint.connection(2)
     assert connection.receiver.receiver.unknown_type_chunks == 1
+
+
+# ----------------------------------------------------------------------
+# Tombstone semantics under C.ID churn
+# ----------------------------------------------------------------------
+
+def test_churn_refusal_counters_exact_across_reestablish_cycles():
+    """refused_evicted vs refused_unknown stays *exact* while C.IDs
+    cycle through establish → evict → (forgotten tombstone) →
+    re-establish → evict, including the FIFO overflow degradation."""
+    endpoint = ChunkEndpoint(EventLoop(), close_linger=0.0)
+    endpoint.table.evicted_ids.max_entries = 2
+
+    def one_object(cid: int) -> bytes:
+        sender = ChunkTransportSender(
+            ConnectionConfig(connection_id=cid, tpdu_units=16)
+        )
+        return data_packet(sender, make_payload(32))
+
+    for now, cid in enumerate((1, 2, 3, 4), start=1):
+        endpoint.receive_packet(one_object(cid))
+        assert endpoint.sweep(now=float(now)) == [cid]
+    # The FIFO remembers only the two newest tombstones; the two oldest
+    # were dropped, and counted.
+    assert sorted(endpoint.table.evicted_ids) == [3, 4]
+    assert endpoint.table.evicted_ids.dropped == 2
+
+    # Late traffic for a *remembered* C.ID: refused as evicted, exactly
+    # one count per chunk (its establishment chunk included).
+    late = one_object(4)
+    n_late = len(Packet.decode(late).chunks)
+    endpoint.receive_packet(late)
+    assert endpoint.refused_evicted == n_late
+    assert endpoint.refused_unknown == 0
+
+    # Bare data for a *forgotten* C.ID degrades to the unknown count —
+    # observably, not silently.
+    bare = ChunkTransportSender(ConnectionConfig(connection_id=1, tpdu_units=16))
+    frame = data_packet(bare, make_payload(16), signal=False)
+    n_bare = len(Packet.decode(frame).chunks)
+    endpoint.receive_packet(frame)
+    assert endpoint.refused_unknown == n_bare
+    assert endpoint.refused_evicted == n_late
+
+    # A forgotten C.ID may legitimately re-establish (the third cycle)...
+    events = endpoint.receive_packet(one_object(1))
+    assert events.established == [1]
+    assert endpoint.sweep(now=10.0) == [1]
+    # ...and its post-eviction stragglers count as evicted again.
+    again = one_object(1)
+    endpoint.receive_packet(again)
+    assert endpoint.refused_evicted == n_late + len(Packet.decode(again).chunks)
+    assert endpoint.refused_unknown == n_bare
+    assert endpoint.table.established_total == 5
+    assert endpoint.table.evicted_total == 5
