@@ -264,6 +264,9 @@ class SimSanitizer:
             )
             self.violations.append(violation)
             if self.raise_on_violation:
+                from repro.obs import flight_dump
+
+                flight_dump("simsan", violation.buffer_label)
                 raise SimSanError(
                     "mutation-after-schedule aliasing: " + violation.describe()
                 )

@@ -50,6 +50,7 @@ from repro.netsim.adversary import (
 from repro.netsim.events import EventLoop
 from repro.netsim.link import Link
 from repro.netsim.rng import substream
+from repro.obs import bind_journey_clock, flight_dump
 from repro.transport.connection import ConnectionConfig, build_signaling_chunk
 from repro.transport.endpoint import ChunkEndpoint, Connection
 
@@ -115,7 +116,20 @@ class AttackReport:
 
 def check_invariants(report: AttackReport, fairness_floor: float = 0.8) -> None:
     """Assert the four attack invariants; raises AssertionError with the
-    scenario name and seed so a failure replays exactly."""
+    scenario name and seed so a failure replays exactly.
+
+    When a flight recorder is installed, a failing invariant dumps the
+    black box (per-conversation provenance rings + metric snapshot)
+    before re-raising, so the counterexample ships with its history.
+    """
+    try:
+        _check_invariants(report, fairness_floor)
+    except AssertionError:
+        flight_dump("invariant", report.name)
+        raise
+
+
+def _check_invariants(report: AttackReport, fairness_floor: float) -> None:
     tag = f"[{report.name} seed={report.seed}]"
 
     for outcome in report.outcomes:
@@ -181,6 +195,7 @@ def _endpoint_pair(
     on-path adversary sits); *reorder* plugs a delivery-time policy into
     the forward link.
     """
+    bind_journey_clock(lambda: loop.now)
     sender = ChunkEndpoint(loop, mtu=1500, idle_timeout=idle_timeout)
     receiver = ChunkEndpoint(loop, mtu=1500, idle_timeout=idle_timeout)
     if budget is not None:

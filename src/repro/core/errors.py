@@ -21,6 +21,7 @@ __all__ = [
     "ErasureError",
     "NotNestedError",
     "AnalysisError",
+    "ObsError",
     "PerfError",
     "SimSanError",
     "EndpointError",
@@ -89,6 +90,11 @@ class NotNestedError(ReproError):
 
 class AnalysisError(ReproError):
     """The static analyzer could not run (bad input, baseline, config)."""
+
+
+class ObsError(ReproError):
+    """An observability installation is invalid (e.g. attaching a flight
+    recorder while no journey tracker is installed)."""
 
 
 class PerfError(ReproError):

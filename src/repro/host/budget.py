@@ -25,7 +25,7 @@ from types import TracebackType
 
 from repro.core.bounded import BoundedSet
 from repro.core.errors import BudgetExceededError
-from repro.obs import counter, gauge
+from repro.obs import counter, gauge, journey_handle
 
 __all__ = ["BudgetExceededError", "BudgetLease", "SharedPlacementBudget"]
 
@@ -38,6 +38,7 @@ _OBS_REFUSALS = counter(
 _OBS_RECLAIMED = counter(
     "host", "budget.reclaimed_bytes", "bytes returned to the pool by state reclamation"
 )
+_OBS_JOURNEY = journey_handle()
 
 
 @dataclass
@@ -86,6 +87,11 @@ class SharedPlacementBudget:
             self.refusals += 1
             self.refused_keys.add(key)
             _OBS_REFUSALS.inc()
+            if _OBS_JOURNEY and isinstance(key, int):
+                _OBS_JOURNEY.emit(
+                    "budget_refused", key, 0, 0, level="conn",
+                    reason="admission", registered=len(self._reserved),
+                )
             return False
         self._reserved[key] = 0
         return True
@@ -110,6 +116,12 @@ class SharedPlacementBudget:
             self.refusals += 1
             self.refused_keys.add(key)
             _OBS_REFUSALS.inc()
+            if _OBS_JOURNEY and isinstance(key, int):
+                _OBS_JOURNEY.emit(
+                    "budget_refused", key, 0, 0, level="conn",
+                    reason="fair_share", requested=nbytes, held=held,
+                    fair_share=self.fair_share(),
+                )
             return False
         self._reserved[key] = held + nbytes
         self.reserved_total += nbytes

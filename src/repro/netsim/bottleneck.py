@@ -34,7 +34,7 @@ from repro.netsim.events import EventLoop
 from repro.netsim.link import Link
 from repro.netsim.rng import substream
 from repro.netsim.topology import HopSpec
-from repro.obs import counter
+from repro.obs import counter, journey_handle
 
 __all__ = ["BottleneckPort", "SharedBottleneck", "build_shared_bottleneck"]
 
@@ -49,6 +49,7 @@ _OBS_MISROUTED = counter(
 _OBS_UNDECODABLE = counter(
     "netsim", "bottleneck.undecodable_frames", "frames the demux could not decode"
 )
+_OBS_JOURNEY = journey_handle()
 
 
 @dataclass
@@ -197,6 +198,10 @@ class SharedBottleneck:
                 self.misrouted_chunks += 1
                 _OBS_MISROUTED.inc()
                 continue
+            if _OBS_JOURNEY and chunk.is_data:
+                _OBS_JOURNEY.chunk(
+                    "routed", chunk, t=self.loop.now, port=index
+                )
             by_port.setdefault(index, []).append(chunk)
         if len(by_port) > 1:
             self.split_frames += 1

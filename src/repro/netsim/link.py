@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.netsim.events import EventLoop
 from repro.netsim.rng import corrupt_bytes, default_rng
-from repro.obs import counter, gauge
+from repro.obs import counter, gauge, journey_handle
 
 if TYPE_CHECKING:
     import random
@@ -37,6 +37,9 @@ _OBS_FRAMES_DUPLICATED = counter("netsim", "link.frames_duplicated", "frames dup
 _OBS_FRAMES_OVERSIZE = counter("netsim", "link.frames_dropped_oversize", "frames over MTU")
 _OBS_BYTES_DELIVERED = counter("netsim", "link.bytes_delivered", "bytes delivered")
 _OBS_INFLIGHT = gauge("netsim", "link.inflight_frames", "frames serializing/propagating")
+# The link treats frames as opaque bytes; journey records decode the
+# chunk labels only while a tracker is installed (null-sink discipline).
+_OBS_JOURNEY = journey_handle()
 
 Deliver = Callable[[bytes], None]
 
@@ -98,16 +101,24 @@ class Link:
         if len(frame) > self.mtu:
             self.stats.frames_dropped_oversize += 1
             _OBS_FRAMES_OVERSIZE.inc()
+            if _OBS_JOURNEY:
+                _OBS_JOURNEY.frame(
+                    "dropped", frame, t=self.loop.now, reason="oversize"
+                )
             return
         if self.loss_rate and self.rng.random() < self.loss_rate:
             self.stats.frames_lost += 1
             _OBS_FRAMES_LOST.inc()
+            if _OBS_JOURNEY:
+                _OBS_JOURNEY.frame("dropped", frame, t=self.loop.now, reason="loss")
             return
         if self.corrupt_rate and self.rng.random() < self.corrupt_rate:
             frame = corrupt_bytes(frame, self.rng)
             self.stats.frames_corrupted += 1
             _OBS_FRAMES_CORRUPTED.inc()
 
+        if _OBS_JOURNEY:
+            _OBS_JOURNEY.frame("link_tx", frame, t=self.loop.now)
         start = max(self.loop.now, self._busy_until)
         tx_time = len(frame) * 8 / self.rate_bps
         self._busy_until = start + tx_time
@@ -130,4 +141,6 @@ class Link:
         _OBS_INFLIGHT.dec()
         _OBS_FRAMES_DELIVERED.inc()
         _OBS_BYTES_DELIVERED.inc(len(frame))
+        if _OBS_JOURNEY:
+            _OBS_JOURNEY.frame("link_rx", frame, t=self.loop.now)
         self.deliver(frame)

@@ -28,7 +28,7 @@ from repro.core.packet import Packet, pack_chunks
 from repro.core.reassemble import coalesce
 from repro.core.types import PACKET_HEADER_BYTES
 from repro.netsim.events import EventLoop
-from repro.obs import counter, gauge
+from repro.obs import counter, gauge, journey_handle
 
 if TYPE_CHECKING:
     from repro.netsim.adversary import ReorderPolicy
@@ -43,6 +43,7 @@ _OBS_CHUNKS_SPLIT = counter("netsim", "router.chunks_split", "Appendix C splits 
 _OBS_CHUNKS_MERGED = counter("netsim", "router.chunks_merged", "Appendix D merges performed")
 _OBS_DECODE_FAILURES = counter("netsim", "router.decode_failures", "undecodable frames")
 _OBS_PENDING = gauge("netsim", "router.pending_chunks", "chunks batched awaiting flush")
+_OBS_JOURNEY = journey_handle()
 
 RepackMode = Literal["repack", "one-per-packet", "reassemble"]
 
@@ -104,6 +105,10 @@ class ChunkRouter:
             return
         self.stats.chunks_in += len(packet.chunks)
         _OBS_CHUNKS_IN.inc(len(packet.chunks))
+        if _OBS_JOURNEY:
+            for chunk in packet.chunks:
+                if chunk.is_data:
+                    _OBS_JOURNEY.chunk("routed", chunk, t=self.loop.now)
         if self.batch_window > 0:
             self._pending.extend(packet.chunks)
             _OBS_PENDING.set(len(self._pending))

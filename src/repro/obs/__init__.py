@@ -34,6 +34,14 @@ from repro.obs.export import (
     trace_records,
     write_jsonl,
 )
+from repro.obs.flight import (
+    FlightRecorder,
+    active_flight,
+    flight_dump,
+    flight_session,
+    install_flight,
+    uninstall_flight,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -61,6 +69,20 @@ from repro.obs.runtime import (
     timer,
     tracer,
     uninstall,
+)
+from repro.obs.provenance import (
+    ChunkJourney,
+    JourneyHandle,
+    JourneyTracker,
+    StageRecord,
+    active_journey,
+    bind_journey_clock,
+    frame_labels,
+    install_journey,
+    journey_handle,
+    journey_session,
+    uninstall_journey,
+    write_journal,
 )
 from repro.obs.snapshot import SnapshotDelta, diff_snapshots, metric_snapshot
 from repro.obs.tracing import TraceEvent, Tracer, TraceSpan
@@ -100,4 +122,22 @@ __all__ = [
     "SnapshotDelta",
     "metric_snapshot",
     "diff_snapshots",
+    "StageRecord",
+    "ChunkJourney",
+    "JourneyTracker",
+    "JourneyHandle",
+    "journey_handle",
+    "install_journey",
+    "uninstall_journey",
+    "active_journey",
+    "bind_journey_clock",
+    "journey_session",
+    "frame_labels",
+    "write_journal",
+    "FlightRecorder",
+    "install_flight",
+    "uninstall_flight",
+    "active_flight",
+    "flight_session",
+    "flight_dump",
 ]

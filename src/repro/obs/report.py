@@ -1,10 +1,12 @@
-"""``python -m repro.obs report`` — summarize a JSON-lines trace file.
+"""``python -m repro.obs`` — trace-file tooling (report, export-trace).
 
-Reads a file produced by :func:`repro.obs.export.write_jsonl` (for
-example by ``python examples/reliable_transfer.py --trace run.jsonl``)
-and prints the per-layer counters, gauges, histograms, and event
-counts — the paper's quantities (data touches, retransmissions,
-verification outcomes) straight from a recorded run.
+``report`` reads a file produced by :func:`repro.obs.export.write_jsonl`
+(for example by ``python examples/reliable_transfer.py --trace
+run.jsonl``), a provenance journal, or a flight-recorder dump, and
+prints the per-layer counters, gauges, histograms, event counts, and —
+with ``--journeys`` — the per-chunk journey table.  ``export-trace``
+renders the same files as a Chrome/Perfetto trace-event JSON for
+``ui.perfetto.dev`` (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ from pathlib import Path
 
 from repro.obs.export import render_histogram_buckets
 
-__all__ = ["load_records", "summarize", "main"]
+__all__ = ["load_records", "summarize", "summarize_journeys", "main"]
 
 
 def load_records(path: str | Path) -> list[dict[str, object]]:
@@ -44,13 +46,67 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def _label_value(text: str) -> tuple[int, object]:
+    """A label value as a sortable atom: numbers before strings, and
+    numbers compared numerically (``conn=9`` before ``conn=10``)."""
+    try:
+        return (0, int(text))
+    except ValueError:
+        try:
+            return (0, float(text))
+        except ValueError:
+            return (1, text)
+
+
+def _name_sort_key(name: str) -> tuple[object, ...]:
+    """Deterministic ordering for possibly-labelled instrument names.
+
+    ``name{k=v,...}`` sorts by base name first, then by its label items
+    — so ``chunks_routed{conn=2}`` precedes ``chunks_routed{conn=10}``
+    and every tie between labelled variants breaks the same way on
+    every run.
+    """
+    if name.endswith("}") and "{" in name:
+        base, _, body = name.partition("{")
+        labels = tuple(
+            (key, _label_value(value))
+            for key, _, value in (
+                part.partition("=") for part in body[:-1].split(",")
+            )
+        )
+        return (base, 1, labels)
+    return (name, 0, ())
+
+
+def _event_matches(record: dict[str, object], needle: str) -> bool:
+    """True when a trace event matches an ``--events FILTER`` string.
+
+    Matches the event *name* (substring) or any field as ``key=value``
+    or bare ``value`` — so ``--events conn=7`` selects one
+    conversation's events regardless of their names.
+    """
+    if needle in str(record.get("name", "")):
+        return True
+    fields = record.get("fields")
+    if not isinstance(fields, dict):
+        return False
+    return any(
+        f"{key}={value}" == needle or str(value) == needle
+        for key, value in fields.items()
+    )
+
+
 def summarize(
     records: list[dict[str, object]],
     scope: str | None = None,
-    show_events: bool = False,
+    show_events: bool | str = False,
     show_buckets: bool = False,
 ) -> str:
-    """Render the per-scope summary of a record list."""
+    """Render the per-scope summary of a record list.
+
+    *show_events* may be True (count every event name) or a filter
+    string (count only matching events — by name or by field value).
+    """
     metrics: dict[str, list[dict[str, object]]] = {}
     event_counts: dict[tuple[str, str], int] = {}
     dropped = 0
@@ -65,6 +121,10 @@ def summarize(
             record_scope = str(record.get("scope", "?"))
             if scope is not None and record_scope != scope:
                 continue
+            if isinstance(show_events, str) and not _event_matches(
+                record, show_events
+            ):
+                continue
             key = (record_scope, str(record.get("name", "?")))
             event_counts[key] = event_counts.get(key, 0) + 1
         elif kind == "meta":
@@ -74,7 +134,10 @@ def summarize(
     lines: list[str] = []
     for record_scope in sorted(metrics):
         lines.append(f"== {record_scope} ==")
-        rows = sorted(metrics[record_scope], key=lambda r: str(r.get("name", "")))
+        rows = sorted(
+            metrics[record_scope],
+            key=lambda r: _name_sort_key(str(r.get("name", ""))),
+        )
         name_width = max(len(str(r.get("name", ""))) for r in rows)
         kind_width = max(len(str(r.get("kind", ""))) for r in rows)
         for row in rows:
@@ -111,6 +174,57 @@ def summarize(
     return "\n".join(lines)
 
 
+def summarize_journeys(
+    records: list[dict[str, object]], conn: int | None = None
+) -> str:
+    """Render the per-chunk journey table from provenance records."""
+    from repro.obs.provenance import JourneyTracker
+
+    tracker = JourneyTracker()
+    tracker.replay(records)
+    journeys = tracker.journeys(c_id=conn)
+    if not journeys:
+        return "(no provenance records)"
+
+    header = ("conn", "chunk", "stages", "gens", "t_first", "t_last", "outcome")
+    rows: list[tuple[str, ...]] = [header]
+    for journey in journeys:
+        stages = ">".join(journey.stages)
+        if len(stages) > 60:
+            stages = stages[:57] + "..."
+        times = [record.t for record in journey.records]
+        rows.append(
+            (
+                str(journey.c_id),
+                f"[{journey.offset},+{journey.length})",
+                stages,
+                ",".join(str(g) for g in journey.generations),
+                f"{min(times):.6g}",
+                f"{max(times):.6g}",
+                journey.outcome,
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = ["== chunk journeys =="]
+    for index, row in enumerate(rows):
+        lines.append("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  " + "  ".join("-" * w for w in widths))
+    lines.append(f"({len(journeys)} journey(s))")
+    return "\n".join(lines)
+
+
+def _print(text: str) -> None:
+    try:
+        print(text)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.  Point
+        # stdout at devnull so the interpreter's exit-time flush of the
+        # dead pipe cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -121,10 +235,33 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument("trace", help="path to a .jsonl trace file")
     report.add_argument("--scope", help="only this layer (netsim/transport/host/wsc)")
     report.add_argument(
-        "--events", action="store_true", help="also count trace events per name"
+        "--events",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="FILTER",
+        help="also count trace events; with FILTER, only events whose "
+        "name or field values match (e.g. --events conn=7)",
     )
     report.add_argument(
         "--buckets", action="store_true", help="show histogram bucket detail"
+    )
+    report.add_argument(
+        "--journeys",
+        action="store_true",
+        help="render the per-chunk journey table from provenance records",
+    )
+    report.add_argument(
+        "--conn", type=int, help="restrict --journeys to one conversation"
+    )
+    export = sub.add_parser(
+        "export-trace",
+        help="render provenance records as Chrome/Perfetto trace-event JSON",
+    )
+    export.add_argument("trace", help="path to a journal/flight .jsonl file")
+    export.add_argument("out", help="output trace JSON path")
+    export.add_argument(
+        "--conn", type=int, help="export only this conversation's journeys"
     )
     args = parser.parse_args(argv)
 
@@ -136,12 +273,17 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    try:
-        print(summarize(records, args.scope, args.events, args.buckets))
-    except BrokenPipeError:
-        # Downstream pager/head closed the pipe; not an error.  Point
-        # stdout at devnull so the interpreter's exit-time flush of the
-        # dead pipe cannot raise again.
-        devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
+
+    if args.command == "export-trace":
+        from repro.obs.perfetto import journeys_to_trace, write_trace
+
+        trace = journeys_to_trace(records, conn=args.conn)
+        count = write_trace(args.out, trace)
+        print(f"wrote {count} trace event(s) to {args.out}")
+        return 0
+
+    if args.journeys:
+        _print(summarize_journeys(records, conn=args.conn))
+        return 0
+    _print(summarize(records, args.scope, args.events, args.buckets))
     return 0

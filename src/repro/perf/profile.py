@@ -233,6 +233,24 @@ def _figure_budgets(records: Sequence[BenchRecord]) -> list[BudgetCheck]:
                 min(detected), "==", per_field,
             ))
 
+    provenance = by_name.get("provenance")
+    uninstalled = _figure(provenance, "uninstalled_records")
+    if uninstalled is not None:
+        checks.append(BudgetCheck.evaluate(
+            "provenance.uninstalled_overhead",
+            "with no journey tracker installed the chunk hot path never "
+            "enters the provenance seam",
+            uninstalled, "==", 0.0,
+        ))
+    placed = _figure(provenance, "placed")
+    journeys = _figure(provenance, "journeys")
+    if placed is not None and journeys is not None:
+        checks.append(BudgetCheck.evaluate(
+            "provenance.placed_exactly_once",
+            "every delivered chunk's journey contains exactly one placement",
+            placed, "==", journeys,
+        ))
+
     fig4 = by_name.get("fig4_internetworking")
     reassembled = _figure(fig4, "reassemble.big_net_packets")
     repacked = _figure(fig4, "repack.big_net_packets")

@@ -42,7 +42,7 @@ from repro.host.budget import SharedPlacementBudget
 from repro.host.delivery import FrameStore, PlacementBuffer
 from repro.host.memory import TouchLedger
 from repro.netsim.events import EventLoop
-from repro.obs import counter, gauge, labelled_counter, tracer
+from repro.obs import counter, flight_dump, gauge, journey_handle, labelled_counter, tracer
 from repro.transport.connection import ConnectionConfig, parse_signaling_chunk
 from repro.transport.receiver import ChunkTransportReceiver, ReceiverEvents
 from repro.transport.reliability import (
@@ -95,6 +95,7 @@ _OBS_MIXED_PACKETS = counter(
     "transport", "endpoint.mixed_packets", "egress packets mixing >1 conversation"
 )
 _OBS_TRACE = tracer("transport")
+_OBS_JOURNEY = journey_handle()
 
 
 class ConnectionState(enum.Enum):
@@ -421,6 +422,10 @@ class ChunkEndpoint:
             if len(conversations) > 1:
                 self.mixed_packets += 1
                 _OBS_MIXED_PACKETS.inc()
+            if _OBS_JOURNEY:
+                for chunk in packet.chunks:
+                    if chunk.is_data:
+                        _OBS_JOURNEY.chunk("packed", chunk, t=self.loop.now)
             encoded = packet.encode()
             self.bytes_sent += len(encoded)
             self.packets_sent += 1
@@ -484,6 +489,10 @@ class ChunkEndpoint:
         payload_bytes = sum(c.payload_bytes for c in rest if c.is_data)
         connection.payload_bytes_in += payload_bytes
         _OBS_CHUNKS.inc(len(rest))
+        if _OBS_JOURNEY:
+            for chunk in rest:
+                if chunk.is_data:
+                    _OBS_JOURNEY.chunk("demux", chunk, t=now)
         if self.per_connection_metrics:
             labelled_counter(
                 "transport", "endpoint.chunks_routed", conn=cid
@@ -496,6 +505,8 @@ class ChunkEndpoint:
             self.table.mark_closed(connection, now)
             if _OBS_TRACE:
                 _OBS_TRACE.event("conn_closed", t=now, conn=cid)
+            if _OBS_JOURNEY:
+                _OBS_JOURNEY.emit("closed", cid, 0, 0, t=now, level="conn")
         previous = events.per_connection.get(cid)
         if previous is None:
             events.per_connection[cid] = received
@@ -575,6 +586,8 @@ class ChunkEndpoint:
         events.established.append(cid)
         if _OBS_TRACE:
             _OBS_TRACE.event("conn_established", t=now, conn=cid)
+        if _OBS_JOURNEY:
+            _OBS_JOURNEY.emit("established", cid, 0, 0, t=now, level="conn")
         return connection
 
     def _refuse(self, cid: int, chunks: list[Chunk], events: EndpointEvents) -> None:
@@ -582,9 +595,17 @@ class ChunkEndpoint:
         if cid in self.table.evicted_ids:
             self.refused_evicted += len(chunks)
             _OBS_REFUSED_EVICTED.inc(len(chunks))
+            reason = "evicted"
         else:
             self.refused_unknown += len(chunks)
             _OBS_REFUSED_UNKNOWN.inc(len(chunks))
+            reason = "unknown"
+        if _OBS_JOURNEY:
+            for chunk in chunks:
+                if chunk.is_data:
+                    _OBS_JOURNEY.chunk(
+                        "refused", chunk, t=self.loop.now, reason=reason
+                    )
 
     def _record_touches(self, connection: Connection) -> None:
         """Per-connection touch accounting: fresh stream placements are
@@ -629,12 +650,20 @@ class ChunkEndpoint:
         linger = self.idle_timeout if self.close_linger is None else self.close_linger
         evicted: list[int] = []
         for cid in self.table.idle_connections(at, self.idle_timeout, linger):
-            if self._evict(cid, at):
+            connection = self.table.get(cid)
+            reason = (
+                "closed"
+                if connection is not None
+                and connection.state is ConnectionState.CLOSED
+                else "idle"
+            )
+            if self._evict(cid, at, reason):
                 evicted.append(cid)
         evicted.extend(self._police_progress(at))
         return evicted
 
-    def _evict(self, cid: int, at: float) -> bool:
+    def _evict(self, cid: int, at: float, reason: str) -> bool:
+        tombstones_dropped = self.table.evicted_ids.dropped
         connection = self.table.evict(cid)
         if connection is None:
             return False
@@ -644,7 +673,19 @@ class ChunkEndpoint:
         connection.sender = None
         self.budget.release(cid)
         if _OBS_TRACE:
-            _OBS_TRACE.event("conn_evicted", t=at, conn=cid)
+            _OBS_TRACE.event("conn_evicted", t=at, conn=cid, reason=reason)
+            if self.table.evicted_ids.dropped > tombstones_dropped:
+                _OBS_TRACE.event(
+                    "tombstone_dropped",
+                    t=at,
+                    conn=cid,
+                    reason="tombstone_overflow",
+                    dropped=self.table.evicted_ids.dropped,
+                )
+        if _OBS_JOURNEY:
+            _OBS_JOURNEY.emit(
+                "evicted", cid, 0, 0, t=at, level="conn", reason=reason
+            )
         return True
 
     def _police_progress(self, at: float) -> list[int]:
@@ -675,10 +716,11 @@ class ChunkEndpoint:
                 continue
             delta = connection.payload_bytes_in - connection._progress_bytes
             if delta < self.min_progress_bytes:
-                if self._evict(cid, at):
+                if self._evict(cid, at, "stalled"):
                     self.stalled_evictions += 1
                     _OBS_STALLED.inc()
                     evicted.append(cid)
+                    flight_dump("stalled_eviction", f"conn-{cid}")
             else:
                 connection._progress_bytes = connection.payload_bytes_in
                 connection._progress_marked_at = at

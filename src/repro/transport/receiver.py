@@ -25,7 +25,7 @@ from repro.core.types import ChunkType
 from repro.core.virtual import VirtualReassembler
 from repro.core.errors import BudgetExceededError, InconsistentOverlapError
 from repro.host.delivery import FrameStore, PlacementBuffer
-from repro.obs import counter, histogram
+from repro.obs import counter, histogram, journey_handle
 from repro.transport.connection import ConnectionConfig, parse_signaling_chunk
 from repro.wsc.endtoend import EndToEndReceiver, TpduVerdict
 
@@ -72,6 +72,7 @@ _OBS_DATA_TOUCHES = counter("host", "data_touches", "payload placements into app
 _OBS_DATA_TOUCH_BYTES = counter(
     "host", "data_touch_bytes", "fresh payload bytes placed into app memory"
 )
+_OBS_JOURNEY = journey_handle()
 
 
 @dataclass
@@ -174,7 +175,10 @@ class ChunkTransportReceiver:
             self._handle_signaling(chunk)
             return
         if chunk.type is ChunkType.ERROR_DETECTION:
-            events.verdicts.extend(self.verifier.receive(chunk))
+            verdicts = self.verifier.receive(chunk)
+            if _OBS_JOURNEY:
+                self._journey_verdicts(chunk.c.ident, verdicts)
+            events.verdicts.extend(verdicts)
             return
         if chunk.type is not ChunkType.DATA:
             self.unknown_type_chunks += 1
@@ -193,20 +197,30 @@ class ChunkTransportReceiver:
             if fresh == 0:
                 self.duplicate_chunks += 1
                 _OBS_DUPLICATES.inc()
+                if _OBS_JOURNEY:
+                    _OBS_JOURNEY.chunk("duplicate", chunk)
             else:
                 _OBS_DATA_TOUCHES.inc()
                 _OBS_DATA_TOUCH_BYTES.inc(fresh)
+                if _OBS_JOURNEY:
+                    _OBS_JOURNEY.chunk("placed", chunk, fresh=fresh)
         except InconsistentOverlapError:
             self.overlap_conflict_chunks += 1
             _OBS_OVERLAP_CONFLICT.inc()
+            if _OBS_JOURNEY:
+                _OBS_JOURNEY.chunk("conflict", chunk, reason="overlap")
             return  # unacknowledged: the content disagreement stays visible
         except BudgetExceededError:
             self.budget_refused_chunks += 1
             _OBS_BUDGET_REFUSED.inc()
+            if _OBS_JOURNEY:
+                _OBS_JOURNEY.chunk("refused", chunk, reason="budget")
             return  # unacknowledged: retransmission retries the placement
         except ValueError:
             self.rejected_placements += 1
             _OBS_REJECTED.inc()
+            if _OBS_JOURNEY:
+                _OBS_JOURNEY.chunk("refused", chunk, reason="bounds")
         try:
             frame_done = self.frames.place(
                 chunk.x.ident,
@@ -216,26 +230,53 @@ class ChunkTransportReceiver:
             )
             if frame_done:
                 events.completed_frames.append(chunk.x.ident)
+                if _OBS_JOURNEY:
+                    _OBS_JOURNEY.emit(
+                        "delivered",
+                        chunk.c.ident,
+                        0,
+                        0,
+                        level="frame",
+                        x_id=chunk.x.ident,
+                    )
         except InconsistentOverlapError:
             self.overlap_conflict_chunks += 1
             _OBS_OVERLAP_CONFLICT.inc()
+            if _OBS_JOURNEY:
+                _OBS_JOURNEY.chunk("conflict", chunk, reason="overlap", site="frame")
             return
         except BudgetExceededError:
             self.budget_refused_chunks += 1
             _OBS_BUDGET_REFUSED.inc()
+            if _OBS_JOURNEY:
+                _OBS_JOURNEY.chunk("refused", chunk, reason="budget", site="frame")
             return
         except ValueError:
             self.rejected_placements += 1
             _OBS_REJECTED.inc()
+            if _OBS_JOURNEY:
+                _OBS_JOURNEY.chunk("refused", chunk, reason="bounds", site="frame")
 
         # (2)+(3) incremental verification via the end-to-end receiver.
-        events.verdicts.extend(self.verifier.receive(chunk))
+        verdicts = self.verifier.receive(chunk)
+        if _OBS_JOURNEY and verdicts:
+            self._journey_verdicts(chunk.c.ident, verdicts)
+        events.verdicts.extend(verdicts)
 
         if chunk.c.st:
             self.closed = True
             events.connection_closed = True
             if self.stream.total_bytes is None:
                 self.stream.total_bytes = offset + len(chunk.payload)
+
+    def _journey_verdicts(
+        self, c_id: int, verdicts: Iterable[TpduVerdict]
+    ) -> None:
+        for verdict in verdicts:
+            _OBS_JOURNEY.emit(
+                "verified", c_id, 0, 0, level="tpdu",
+                t_id=verdict.t_id, ok=verdict.ok,
+            )
 
     def _handle_signaling(self, chunk: Chunk) -> None:
         try:

@@ -24,7 +24,7 @@ from repro.core.errors import ChunkError
 from repro.core.packet import pack_chunks
 from repro.core.types import ChunkType
 from repro.netsim.events import EventLoop
-from repro.obs import counter, histogram, tracer
+from repro.obs import counter, histogram, journey_handle, tracer
 from repro.transport.acks import build_ack_chunk, parse_ack_chunk
 from repro.transport.connection import ConnectionConfig
 from repro.transport.receiver import ChunkTransportReceiver, ReceiverEvents
@@ -38,6 +38,7 @@ _OBS_ACKS_RECEIVED = counter("transport", "acks_received", "TPDU ids acknowledge
 _OBS_ACK_BATCHES = counter("transport", "ack_batches", "ACK packet flushes")
 _OBS_ACK_BATCH_SIZE = histogram("transport", "ack_batch_size", "TPDU ids per ACK flush")
 _OBS_TRACE = tracer("transport")
+_OBS_JOURNEY = journey_handle()
 
 
 @dataclass
@@ -149,6 +150,10 @@ class ReliableSender:
             payload, frame_id=frame_id, end_of_connection=end_of_connection
         )
         chunks += new_chunks
+        if _OBS_JOURNEY:
+            for chunk in new_chunks:
+                if chunk.type is ChunkType.DATA:
+                    _OBS_JOURNEY.chunk("formed", chunk, t=self.loop.now)
         self._ship(chunks)
         for chunk in new_chunks:
             if chunk.type is ChunkType.ERROR_DETECTION:
@@ -182,6 +187,10 @@ class ReliableSender:
         if self.transmit is None:
             raise ChunkError("ReliableSender needs transmit or transmit_chunks")
         for packet in pack_chunks(chunks, self.mtu):
+            if _OBS_JOURNEY:
+                for chunk in packet.chunks:
+                    if chunk.type is ChunkType.DATA:
+                        _OBS_JOURNEY.chunk("packed", chunk, t=self.loop.now)
             frame = packet.encode()
             self.bytes_sent += len(frame)
             self.transmit(frame)
@@ -215,6 +224,12 @@ class ReliableSender:
             self._resize(self.policy.on_loss())
         # Same identifiers as the original transmission (Section 3.3).
         chunks = self.sender.retransmit(t_id)
+        if _OBS_JOURNEY:
+            for chunk in chunks:
+                if chunk.type is ChunkType.DATA:
+                    _OBS_JOURNEY.chunk(
+                        "retransmit", chunk, t=self.loop.now, gen=state.retries
+                    )
         if self.resignal_until_acked and not self._acked_once:
             chunks.insert(0, self.sender.establishment_chunk())
         self._ship(chunks)

@@ -34,12 +34,40 @@ def pytest_configure(config: pytest.Config) -> None:
         simsan.install()
         config._repro_simsan_installed = True  # type: ignore[attr-defined]
 
+    # REPRO_FLIGHT_DIR=<dir> flies the whole suite under the provenance
+    # tracker + flight recorder; failing tests dump their black box
+    # there (CI uploads the directory as an artifact on failure).
+    flight_dir = os.environ.get("REPRO_FLIGHT_DIR")
+    if flight_dir:
+        import repro.obs as obs
+
+        obs.install_journey()
+        obs.install_flight(dump_dir=flight_dir)
+        config._repro_flight_installed = True  # type: ignore[attr-defined]
+
 
 def pytest_unconfigure(config: pytest.Config) -> None:
     if getattr(config, "_repro_simsan_installed", False):
         from repro.analysis import simsan
 
         simsan.uninstall()
+    if getattr(config, "_repro_flight_installed", False):
+        import repro.obs as obs
+
+        obs.uninstall_flight()
+        obs.uninstall_journey()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(
+    item: pytest.Item, call: pytest.CallInfo[None]
+):  # noqa: ARG001 - pytest hook signature
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        from repro.obs import flight_dump
+
+        flight_dump("test_failure", item.nodeid)
 
 try:
     from hypothesis import settings as _hypothesis_settings

@@ -15,7 +15,7 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.metrics import Registry
-from repro.obs.report import load_records, main, summarize
+from repro.obs.report import load_records, main, summarize, summarize_journeys
 from repro.obs.tracing import Tracer
 
 
@@ -129,3 +129,136 @@ class TestReport:
         path = tmp_path / "bad.jsonl"
         path.write_text("{broken\n")
         assert main(["report", str(path)]) == 2
+
+
+class TestDeterministicOrdering:
+    def _labelled_registry(self) -> Registry:
+        registry = Registry()
+        # Deliberately created out of order: the report must not depend
+        # on creation order, and labelled ties must sort numerically.
+        for conn in (10, 2, 7):
+            registry.counter("transport", f"chunks{{conn={conn}}}").inc(conn)
+        registry.counter("transport", "chunks").inc(1)
+        registry.counter("netsim", "chunks").inc(1)
+        return registry
+
+    def test_labelled_rows_sort_numerically(self):
+        text = summarize(metric_records(self._labelled_registry()))
+        positions = [
+            text.index(f"chunks{{conn={conn}}}") for conn in (2, 7, 10)
+        ]
+        assert positions == sorted(positions)
+
+    def test_base_name_precedes_its_labelled_variants(self):
+        text = summarize(metric_records(self._labelled_registry()))
+        assert text.index("chunks ") < text.index("chunks{conn=2}")
+
+    def test_scopes_sort_before_names(self):
+        text = summarize(metric_records(self._labelled_registry()))
+        assert text.index("== netsim ==") < text.index("== transport ==")
+
+    def test_identical_inputs_render_identically(self):
+        first = summarize(metric_records(self._labelled_registry()))
+        second = summarize(metric_records(self._labelled_registry()))
+        assert first == second
+
+
+class TestEventFiltering:
+    def _trace_path(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer()
+        tracer.event("transport", "retransmit", t=0.1, fields={"conn": 7})
+        tracer.event("transport", "retransmit", t=0.2, fields={"conn": 8})
+        tracer.event("transport", "conn_evicted", t=0.3,
+                     fields={"conn": 7, "reason": "stalled"})
+        write_jsonl(path, tracer=tracer)
+        return path
+
+    def test_filter_by_field_value(self, tmp_path):
+        records = load_records(self._trace_path(tmp_path))
+        text = summarize(records, show_events="conn=7")
+        assert "transport.retransmit: 1" in text
+        assert "transport.conn_evicted: 1" in text
+
+    def test_filter_by_bare_value(self, tmp_path):
+        records = load_records(self._trace_path(tmp_path))
+        text = summarize(records, show_events="stalled")
+        assert "transport.conn_evicted: 1" in text
+        assert "retransmit" not in text
+
+    def test_filter_by_name_substring(self, tmp_path):
+        records = load_records(self._trace_path(tmp_path))
+        text = summarize(records, show_events="retransmit")
+        assert "transport.retransmit: 2" in text
+        assert "conn_evicted" not in text
+
+    def test_cli_events_filter(self, tmp_path, capsys):
+        path = self._trace_path(tmp_path)
+        assert main(["report", str(path), "--events", "conn=8"]) == 0
+        out = capsys.readouterr().out
+        assert "transport.retransmit: 1" in out
+        assert "conn_evicted" not in out
+
+
+class TestJourneyReport:
+    def _journal_path(self, tmp_path):
+        from repro.obs.provenance import JourneyTracker, write_journal
+
+        tracker = JourneyTracker()
+        tracker.emit("formed", 7, 0, 256, t=0.0, t_id=3, x_id=9)
+        tracker.emit("refused", 7, 0, 256, t=0.2, reason="budget")
+        tracker.emit("retransmit", 7, 0, 256, t=0.4, gen=1)
+        tracker.emit("placed", 7, 0, 256, t=0.5, gen=1)
+        tracker.emit("formed", 8, 0, 128, t=0.6)
+        path = tmp_path / "journal.jsonl"
+        write_journal(path, tracker)
+        return path
+
+    def test_summarize_journeys_table(self, tmp_path):
+        records = load_records(self._journal_path(tmp_path))
+        text = summarize_journeys(records)
+        assert "== chunk journeys ==" in text
+        assert "[0,+256)" in text
+        assert "formed>refused>retransmit>placed" in text
+        assert "(2 journey(s))" in text
+
+    def test_summarize_journeys_conn_filter(self, tmp_path):
+        records = load_records(self._journal_path(tmp_path))
+        text = summarize_journeys(records, conn=8)
+        assert "(1 journey(s))" in text
+        assert "[0,+256)" not in text
+
+    def test_summarize_journeys_empty(self):
+        assert summarize_journeys([]) == "(no provenance records)"
+
+    def test_cli_journeys(self, tmp_path, capsys):
+        path = self._journal_path(tmp_path)
+        assert main(["report", str(path), "--journeys", "--conn", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "== chunk journeys ==" in out
+        assert "placed" in out
+
+    def test_cli_export_trace_round_trips(self, tmp_path, capsys):
+        from repro.obs.perfetto import chunk_timelines
+
+        path = self._journal_path(tmp_path)
+        out_path = tmp_path / "trace.json"
+        assert main(["export-trace", str(path), str(out_path)]) == 0
+        assert "trace event(s)" in capsys.readouterr().out
+        trace = json.loads(out_path.read_text())
+        timelines = chunk_timelines(trace)
+        assert [stage for _, stage, _ in timelines[(7, 0, 256)]] == [
+            "formed", "refused", "retransmit", "placed",
+        ]
+
+    def test_cli_export_trace_conn_filter(self, tmp_path):
+        from repro.obs.perfetto import chunk_timelines
+
+        path = self._journal_path(tmp_path)
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["export-trace", str(path), str(out_path), "--conn", "8"]
+        ) == 0
+        assert set(chunk_timelines(json.loads(out_path.read_text()))) == {
+            (8, 0, 128)
+        }

@@ -1,0 +1,152 @@
+"""Tests for the Chrome/Perfetto trace exporter (repro.obs.perfetto)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.perfetto import (
+    chunk_timelines,
+    journeys_to_trace,
+    parse_trace,
+    write_trace,
+)
+from repro.obs.provenance import JourneyTracker, journal_records
+
+
+def _populated_tracker() -> JourneyTracker:
+    tracker = JourneyTracker()
+    tracker.emit("established", 7, 0, 0, t=0.0, level="conn")
+    tracker.emit("formed", 7, 0, 256, t=0.1, t_id=3, x_id=9)
+    tracker.emit("link_tx", 7, 0, 256, t=0.2, t_id=3, x_id=9)
+    tracker.emit("refused", 7, 0, 256, t=0.3, t_id=3, x_id=9, reason="budget")
+    tracker.emit("retransmit", 7, 0, 256, t=0.5, gen=1, t_id=3, x_id=9)
+    tracker.emit("placed", 7, 0, 256, t=0.6, gen=1, t_id=3, x_id=9)
+    tracker.emit("formed", 7, 256, 256, t=0.1, t_id=3, x_id=9)
+    tracker.emit("placed", 7, 256, 256, t=0.4, t_id=3, x_id=9)
+    tracker.emit("verified", 7, 0, 0, t=0.7, level="tpdu", t_id=3, ok=True)
+    tracker.emit("delivered", 7, 0, 0, t=0.8, level="frame", x_id=9)
+    tracker.emit("formed", 8, 0, 128, t=0.9, t_id=4, x_id=10)
+    return tracker
+
+
+class TestJourneysToTrace:
+    def test_metadata_and_track_layout(self):
+        trace = journeys_to_trace(_populated_tracker().records)
+        events = parse_trace(trace)
+        meta = [e for e in events if e["ph"] == "M"]
+        process_names = {
+            e["pid"]: e["args"]["name"]
+            for e in meta
+            if e["name"] == "process_name"
+        }
+        assert process_names == {7: "conn 7", 8: "conn 8"}
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert thread_names[(7, 0)] == "lifecycle"
+        assert thread_names[(7, 1)] == "chunk [0,+256)"
+        assert thread_names[(7, 2)] == "chunk [256,+256)"
+        assert thread_names[(8, 1)] == "chunk [0,+128)"
+
+    def test_slices_and_instants(self):
+        trace = journeys_to_trace(_populated_tracker().records)
+        events = parse_trace(trace)
+        # Chunk (7, 0, 256) has 5 records -> 4 X slices + 1 final instant.
+        lane = [
+            e for e in events
+            if e["ph"] in ("X", "i") and e["pid"] == 7 and e["tid"] == 1
+        ]
+        assert [e["name"] for e in lane] == [
+            "formed", "link_tx", "refused", "retransmit", "placed",
+        ]
+        assert [e["ph"] for e in lane] == ["X", "X", "X", "X", "i"]
+        # Slice durations bridge to the next stage (microseconds).
+        assert lane[0]["ts"] == pytest.approx(0.1e6)
+        assert lane[0]["dur"] == pytest.approx(0.1e6)
+        # Lifecycle lane carries the coarser-grained records as instants.
+        lifecycle = [
+            e for e in events
+            if e["ph"] == "i" and e["pid"] == 7 and e["tid"] == 0
+        ]
+        assert [e["name"] for e in lifecycle] == [
+            "established", "verified", "delivered",
+        ]
+
+    def test_retransmission_flow_arrows(self):
+        trace = journeys_to_trace(_populated_tracker().records)
+        events = parse_trace(trace)
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"] == "7:0+256:g1"
+        assert starts[0]["ts"] == pytest.approx(0.5e6)
+        assert finishes[0]["ts"] == pytest.approx(0.6e6)  # -> placed
+
+    def test_conn_filter(self):
+        trace = journeys_to_trace(_populated_tracker().records, conn=8)
+        events = parse_trace(trace)
+        assert {e["pid"] for e in events} == {8}
+
+    def test_accepts_parsed_journal_dicts(self):
+        tracker = _populated_tracker()
+        from_records = journeys_to_trace(tracker.records)
+        from_dicts = journeys_to_trace(journal_records(tracker))
+        assert from_records == from_dicts
+
+    def test_args_carry_full_label_and_fields(self):
+        trace = journeys_to_trace(_populated_tracker().records)
+        refused = next(
+            e for e in parse_trace(trace) if e["name"] == "refused"
+        )
+        assert refused["args"]["c_id"] == 7
+        assert refused["args"]["offset"] == 0
+        assert refused["args"]["length"] == 256
+        assert refused["args"]["reason"] == "budget"
+
+
+class TestRoundTrip:
+    def test_chunk_timelines_inverse(self):
+        tracker = _populated_tracker()
+        timelines = chunk_timelines(journeys_to_trace(tracker.records))
+        assert set(timelines) == set(tracker.keys())
+        assert timelines[(7, 0, 256)] == [
+            (pytest.approx(0.1), "formed", 0),
+            (pytest.approx(0.2), "link_tx", 0),
+            (pytest.approx(0.3), "refused", 0),
+            (pytest.approx(0.5), "retransmit", 1),
+            (pytest.approx(0.6), "placed", 1),
+        ]
+
+    def test_write_and_reload(self, tmp_path):
+        tracker = _populated_tracker()
+        trace = journeys_to_trace(tracker.records)
+        path = tmp_path / "trace.json"
+        count = write_trace(path, trace)
+        assert count == len(trace["traceEvents"])
+        reloaded = json.loads(path.read_text())
+        assert chunk_timelines(reloaded) == chunk_timelines(trace)
+
+    def test_write_trace_deterministic(self, tmp_path):
+        path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+        write_trace(path_a, journeys_to_trace(_populated_tracker().records))
+        write_trace(path_b, journeys_to_trace(_populated_tracker().records))
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+
+class TestParseTrace:
+    def test_rejects_non_document(self):
+        with pytest.raises(ValueError):
+            parse_trace({"events": []})
+
+    def test_rejects_malformed_event(self):
+        with pytest.raises(ValueError):
+            parse_trace({"traceEvents": [{"name": "no-phase"}]})
+
+    def test_empty_records_yield_empty_trace(self):
+        trace = journeys_to_trace([])
+        assert parse_trace(trace) == []
+        assert chunk_timelines(trace) == {}
