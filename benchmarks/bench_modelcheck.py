@@ -1,0 +1,82 @@
+"""TOOLING: exhaustive lifecycle model checking throughput.
+
+The model checker (:mod:`repro.analysis.modelcheck`) runs in CI on
+every push, exploring the full bounded interleaving space of the
+declared connection FSM.  This bench pins its shape: the state/edge
+counts of the default and a larger configuration are exact figures (the
+explored space is fully deterministic), every declared transition is
+covered, and the violation count is pinned at zero.  States-per-second
+is printed for the curious but never enters the figures — wall time
+varies by machine, the state space does not.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import print_table, register_bench, scaled
+from repro.analysis.modelcheck import ModelConfig, explore
+from repro.core.state_table import STATE_TABLE
+
+#: The CI configuration (modelcheck's CLI defaults).
+DEFAULT = ModelConfig(conversations=2, pool_tokens=1, placement_cap=2, tombstone_capacity=1)
+
+
+def _wide(payload_scale: float) -> ModelConfig:
+    """A larger space: scale the placement cap (the dominant axis)."""
+    return ModelConfig(
+        conversations=2,
+        pool_tokens=2,
+        placement_cap=scaled(3, payload_scale, minimum=1),
+        tombstone_capacity=2,
+    )
+
+
+@register_bench
+def run(payload_scale: float = 1.0) -> dict:
+    """Perf entry point: explore the default and a scaled-up space."""
+    default = explore(STATE_TABLE, DEFAULT)
+    wide = explore(STATE_TABLE, _wide(payload_scale))
+    return {
+        "modelcheck.states": default.states_explored,
+        "modelcheck.edges": default.edges,
+        "modelcheck.covered": len(default.fired),
+        "modelcheck.violations": len(default.violations),
+        "modelcheck.wide_states": wide.states_explored,
+        "modelcheck.wide_edges": wide.edges,
+        "modelcheck.wide_violations": len(wide.violations),
+    }
+
+
+def test_default_space_is_clean_and_covered(benchmark):
+    result = benchmark(explore, STATE_TABLE, DEFAULT)
+    assert result.ok
+    assert result.uncovered(STATE_TABLE) == []
+
+
+def test_wide_space_is_clean(benchmark):
+    result = benchmark(explore, STATE_TABLE, _wide(1.0))
+    assert result.ok
+
+
+def main() -> None:
+    rows = [["config", "states", "edges", "covered", "violations", "states/s"]]
+    for name, config in (("default", DEFAULT), ("wide", _wide(1.0))):
+        start = time.perf_counter()
+        result = explore(STATE_TABLE, config)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                name,
+                result.states_explored,
+                result.edges,
+                f"{len(result.fired)}/{len(STATE_TABLE.by_id)}",
+                len(result.violations),
+                result.states_explored / elapsed if elapsed else float("inf"),
+            ]
+        )
+    print_table("lifecycle model checking (exhaustive, bounded)", rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -68,6 +68,7 @@ from __future__ import annotations
 from repro.analysis import simsan
 from repro.analysis.baseline import load_baseline, write_baseline
 from repro.analysis.core import Finding, ModuleUnit, Pass, run_passes
+from repro.analysis.modelcheck import ModelCheckResult, ModelConfig, explore
 from repro.analysis.passes import all_passes
 
 __all__ = [
@@ -79,4 +80,7 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "simsan",
+    "ModelConfig",
+    "ModelCheckResult",
+    "explore",
 ]

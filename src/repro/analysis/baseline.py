@@ -16,13 +16,20 @@ from typing import Iterable
 from repro.analysis.core import Finding
 from repro.core.errors import AnalysisError
 
-__all__ = ["load_baseline", "write_baseline", "filter_new"]
+__all__ = ["load_baseline", "load_baseline_entries", "write_baseline", "filter_new"]
 
 BASELINE_VERSION = 1
 
 
-def load_baseline(path: Path) -> set[str]:
-    """Load accepted fingerprints; every entry must be justified."""
+def load_baseline_entries(path: Path) -> list[dict[str, object]]:
+    """Load the baseline's validated entries, in file order.
+
+    Every entry must carry a string ``fingerprint`` and a non-empty
+    ``justification``; other keys (``pass``, ``path``, ``symbol``,
+    ``message``) are preserved so callers can run hygiene checks —
+    ``--check-baseline`` rejects entries naming a pass that no longer
+    exists.
+    """
     try:
         data = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
@@ -34,7 +41,7 @@ def load_baseline(path: Path) -> set[str]:
     entries = data.get("findings")
     if not isinstance(entries, list):
         raise AnalysisError(f"baseline {path}: 'findings' must be a list")
-    fingerprints: set[str] = set()
+    validated: list[dict[str, object]] = []
     for entry in entries:
         if not isinstance(entry, dict) or not isinstance(entry.get("fingerprint"), str):
             raise AnalysisError(f"baseline {path}: malformed entry {entry!r}")
@@ -44,8 +51,13 @@ def load_baseline(path: Path) -> set[str]:
                 f"baseline {path}: entry {entry['fingerprint']} lacks a justification "
                 "(every baselined finding needs a reason it is acceptable)"
             )
-        fingerprints.add(entry["fingerprint"])
-    return fingerprints
+        validated.append(entry)
+    return validated
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Load accepted fingerprints; every entry must be justified."""
+    return {str(entry["fingerprint"]) for entry in load_baseline_entries(path)}
 
 
 def write_baseline(path: Path, findings: Iterable[Finding]) -> None:

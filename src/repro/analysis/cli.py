@@ -28,7 +28,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.analysis.baseline import filter_new, load_baseline, write_baseline
+from repro.analysis.baseline import filter_new, load_baseline_entries, write_baseline
 from repro.analysis.core import Finding, ModuleUnit, Pass, run_passes
 from repro.analysis.passes import all_passes
 from repro.core.errors import AnalysisError
@@ -106,9 +106,12 @@ def _render_github(new: list[Finding]) -> str:
     lines = []
     for finding in new:
         level = "error" if finding.severity == "error" else "warning"
+        text = finding.message
+        if finding.related_path:
+            text += f" (see {finding.related_path}:{finding.related_line})"
         # Annotation messages are single-line; the %0A escape is the
         # documented newline encoding for workflow commands.
-        message = finding.message.replace("%", "%25").replace("\n", "%0A")
+        message = text.replace("%", "%25").replace("\n", "%0A")
         lines.append(
             f"::{level} file={finding.path},line={finding.line},"
             f"title=protolint[{finding.pass_id}]::{message}"
@@ -132,8 +135,9 @@ def _render_sarif(new: list[Finding], passes: Sequence[Pass]) -> str:
         }
         for pass_ in sorted(passes, key=lambda p: p.id)
     ]
-    results = [
-        {
+    results = []
+    for finding in new:
+        result: dict[str, object] = {
             "ruleId": finding.pass_id,
             "level": "error" if finding.severity == "error" else "warning",
             "message": {"text": finding.message},
@@ -150,8 +154,20 @@ def _render_sarif(new: list[Finding], passes: Sequence[Pass]) -> str:
             ],
             "partialFingerprints": {"protolint/v1": finding.fingerprint},
         }
-        for finding in new
-    ]
+        if finding.related_path:
+            result["relatedLocations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.related_path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": finding.related_line},
+                    },
+                    "message": {"text": "declared here"},
+                }
+            ]
+        results.append(result)
     log = {
         "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
         "version": "2.1.0",
@@ -171,22 +187,39 @@ def _render_sarif(new: list[Finding], passes: Sequence[Pass]) -> str:
     return json.dumps(log, indent=2, sort_keys=True)
 
 
-def _check_baseline(findings: list[Finding], accepted: set[str]) -> int:
-    """Baseline hygiene: every baselined fingerprint must still fire."""
+def _check_baseline(
+    findings: list[Finding],
+    entries: list[dict[str, object]],
+    known_passes: set[str],
+) -> int:
+    """Baseline hygiene: every baselined fingerprint must still fire,
+    and every entry's recorded pass must still exist (a renamed or
+    deleted pass orphans its entries — they could never fire again)."""
+    problems = 0
     current = {finding.fingerprint for finding in findings}
-    stale = sorted(accepted - current)
-    if not stale:
-        print(
-            f"protolint: baseline ok ({len(accepted)} entr"
-            f"{'y' if len(accepted) == 1 else 'ies'}, none stale)"
-        )
-        return 0
-    for fingerprint in stale:
+    accepted = {str(entry["fingerprint"]) for entry in entries}
+    for fingerprint in sorted(accepted - current):
+        problems += 1
         print(
             f"protolint: stale baseline entry {fingerprint}: the finding no "
             "longer fires — delete it so the baseline only shrinks"
         )
-    return 1
+    for entry in entries:
+        pass_id = entry.get("pass")
+        if isinstance(pass_id, str) and pass_id not in known_passes:
+            problems += 1
+            print(
+                f"protolint: baseline entry {entry['fingerprint']} names "
+                f"unknown pass {pass_id!r} — the pass no longer exists, so "
+                "the entry can never fire again; delete it"
+            )
+    if problems:
+        return 1
+    print(
+        f"protolint: baseline ok ({len(accepted)} entr"
+        f"{'y' if len(accepted) == 1 else 'ies'}, none stale)"
+    )
+    return 0
 
 
 def _render_text(findings: list[Finding], new: list[Finding], strict: bool) -> str:
@@ -204,6 +237,13 @@ def _render_text(findings: list[Finding], new: list[Finding], strict: bool) -> s
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "state-table":
+        # Subcommand delegation: `python -m repro.analysis state-table
+        # --write` regenerates the docs block the state-drift pass checks.
+        from repro.core.state_table import main as state_table_main
+
+        return state_table_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="protolint: protocol-aware static analysis for the repro tree",
@@ -259,19 +299,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="warnings also affect the exit code",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run passes on N worker threads (the project graph and all "
+        "ASTs are built once either way; output is identical)",
+    )
+    parser.add_argument(
         "--list-passes",
         action="store_true",
         help="list available passes and exit",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     passes = all_passes()
+    known_passes = {pass_.id for pass_ in passes}
     if args.list_passes:
         for pass_ in passes:
             print(f"{pass_.id:22s} {pass_.description}")
         return 0
 
-    known = {pass_.id for pass_ in passes}
+    known = known_passes
     for option in ("select", "disable"):
         raw = getattr(args, option)
         if raw is None:
@@ -313,21 +364,22 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     try:
         units = collect_units(paths, exclude)
-        findings = run_passes(units, passes)
+        findings = run_passes(units, passes, jobs=args.jobs)
         if args.write_baseline:
             target = baseline_path or Path(DEFAULT_BASELINE_NAME)
             write_baseline(target, findings)
             print(f"protolint: wrote {len(findings)} finding(s) to {target}")
             return 0
-        accepted: set[str] = set()
+        entries: list[dict[str, object]] = []
         if baseline_path is not None:
-            accepted = load_baseline(baseline_path)
+            entries = load_baseline_entries(baseline_path)
+        accepted = {str(entry["fingerprint"]) for entry in entries}
     except AnalysisError as exc:
         print(f"protolint: {exc}", file=sys.stderr)
         return 2
 
     if args.check_baseline:
-        return _check_baseline(findings, accepted)
+        return _check_baseline(findings, entries, known_passes)
 
     new = filter_new(findings, accepted)
 

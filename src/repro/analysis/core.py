@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 from repro.core.errors import AnalysisError
 
 if TYPE_CHECKING:
+    from repro.analysis.cfg import CFG
     from repro.analysis.graph import ProjectGraph
 
 __all__ = [
@@ -50,6 +51,11 @@ class Finding:
             ``"warning"`` (exit-affecting only under ``--strict``).
         symbol: stable key naming *what* is wrong (a variable, function
             or format string) so fingerprints survive line-number churn.
+        related_path: optional second location the finding refers to
+            (e.g. the state-table row a drifting code site should
+            match); rendered as a clickable ``file:line`` suffix and a
+            SARIF relatedLocation.
+        related_line: 1-based line of ``related_path``.
     """
 
     pass_id: str
@@ -58,6 +64,8 @@ class Finding:
     message: str
     severity: str = "error"
     symbol: str = ""
+    related_path: str = ""
+    related_line: int = 0
 
     @property
     def fingerprint(self) -> str:
@@ -66,10 +74,13 @@ class Finding:
         return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}: [{self.pass_id}] {self.severity}: {self.message}"
+        text = f"{self.path}:{self.line}: [{self.pass_id}] {self.severity}: {self.message}"
+        if self.related_path:
+            text += f" (see {self.related_path}:{self.related_line})"
+        return text
 
     def to_json(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "pass": self.pass_id,
             "path": self.path,
             "line": self.line,
@@ -78,6 +89,10 @@ class Finding:
             "symbol": self.symbol,
             "fingerprint": self.fingerprint,
         }
+        if self.related_path:
+            payload["related_path"] = self.related_path
+            payload["related_line"] = self.related_line
+        return payload
 
 
 def module_name_for_path(path: Path) -> str:
@@ -109,6 +124,9 @@ class ModuleUnit:
     tree: ast.Module
     display_path: str = ""
     _suppressions: dict[int, frozenset[str] | None] = field(default_factory=dict, repr=False)
+    _cfgs: dict[ast.AST, "CFG"] = field(default_factory=dict, repr=False)
+    cfg_hits: int = 0
+    cfg_misses: int = 0
 
     def __post_init__(self) -> None:
         if not self.display_path:
@@ -140,6 +158,24 @@ class ModuleUnit:
             display_path=display_path or path.as_posix(),
         )
 
+    def cfg(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> "CFG":
+        """The function's CFG, built once per unit and shared by every
+        CFG-based pass in the same run (state-drift, budget-leak, ...).
+
+        The hit/miss counters are deterministic under ``jobs=1`` and are
+        pinned as figures by ``bench_protolint``.
+        """
+        cached = self._cfgs.get(func)
+        if cached is not None:
+            self.cfg_hits += 1
+            return cached
+        from repro.analysis.cfg import build_cfg  # local: avoid import cycle
+
+        built = build_cfg(func)
+        self._cfgs[func] = built
+        self.cfg_misses += 1
+        return built
+
     def is_suppressed(self, line: int, pass_id: str) -> bool:
         """True if *line* carries an ignore comment covering *pass_id*."""
         if line not in self._suppressions:
@@ -169,6 +205,8 @@ class Pass:
         *,
         symbol: str = "",
         severity: str = "error",
+        related_path: str = "",
+        related_line: int = 0,
     ) -> Finding:
         line = node if isinstance(node, int) else getattr(node, "lineno", 1)
         return Finding(
@@ -178,6 +216,8 @@ class Pass:
             message=message,
             severity=severity,
             symbol=symbol,
+            related_path=related_path,
+            related_line=related_line,
         )
 
 
@@ -216,12 +256,21 @@ class ProjectPass(Pass):
         )
 
 
-def run_passes(units: Iterable[ModuleUnit], passes: Iterable[Pass]) -> list[Finding]:
+def run_passes(
+    units: Iterable[ModuleUnit], passes: Iterable[Pass], jobs: int = 1
+) -> list[Finding]:
     """Run every pass over every unit, dropping suppressed findings.
 
     Per-module passes see one unit at a time; :class:`ProjectPass`
     instances run once against a :class:`ProjectGraph` built from the
-    full unit list.  Inline suppressions apply to both kinds.
+    full unit list — the graph and every module AST are built exactly
+    once per invocation and shared across all passes.  Inline
+    suppressions apply to both kinds.
+
+    ``jobs`` > 1 runs passes in a thread pool, one task per pass.  The
+    final ``(path, line, pass_id, message)`` sort makes the output
+    independent of scheduling, so parallel runs are byte-identical to
+    serial ones.
     """
     unit_list = list(units)
     pass_list = list(passes)
@@ -229,23 +278,50 @@ def run_passes(units: Iterable[ModuleUnit], passes: Iterable[Pass]) -> list[Find
     project_passes = [p for p in pass_list if isinstance(p, ProjectPass)]
 
     by_path: dict[str, ModuleUnit] = {u.display_path: u for u in unit_list}
-    findings: list[Finding] = []
-    for unit in unit_list:
-        for pass_ in module_passes:
-            for found in pass_.check(unit):
-                if not unit.is_suppressed(found.line, pass_.id):
-                    findings.append(found)
-
+    graph: "ProjectGraph | None" = None
     if project_passes:
         from repro.analysis.graph import ProjectGraph  # local: avoid import cycle
 
         graph = ProjectGraph(unit_list)
-        for pass_ in project_passes:
-            for found in pass_.check_project(graph):
-                unit = by_path.get(found.path)
-                if unit is not None and unit.is_suppressed(found.line, pass_.id):
-                    continue
-                findings.append(found)
+
+    def run_module_pass(pass_: Pass) -> list[Finding]:
+        out: list[Finding] = []
+        for unit in unit_list:
+            for found in pass_.check(unit):
+                if not unit.is_suppressed(found.line, pass_.id):
+                    out.append(found)
+        return out
+
+    def run_project_pass(pass_: ProjectPass) -> list[Finding]:
+        assert graph is not None
+        out: list[Finding] = []
+        for found in pass_.check_project(graph):
+            unit = by_path.get(found.path)
+            if unit is not None and unit.is_suppressed(found.line, pass_.id):
+                continue
+            out.append(found)
+        return out
+
+    tasks: list[tuple[Pass, bool]] = [(p, False) for p in module_passes]
+    tasks.extend((p, True) for p in project_passes)
+
+    def run_one(task: tuple[Pass, bool]) -> list[Finding]:
+        pass_, is_project = task
+        if is_project:
+            assert isinstance(pass_, ProjectPass)
+            return run_project_pass(pass_)
+        return run_module_pass(pass_)
+
+    findings: list[Finding] = []
+    if jobs > 1 and len(tasks) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            for batch in pool.map(run_one, tasks):
+                findings.extend(batch)
+    else:
+        for task in tasks:
+            findings.extend(run_one(task))
 
     findings.sort(key=lambda f: (f.path, f.line, f.pass_id, f.message))
     return findings

@@ -1,11 +1,14 @@
-"""The thirteen protolint passes (see :mod:`repro.analysis` for overview).
+"""The fifteen protolint passes (see :mod:`repro.analysis` for overview).
 
-Six are per-module AST checks; four are interprocedural, running over
+Eight are per-module AST checks; four are interprocedural, running over
 the :class:`~repro.analysis.graph.ProjectGraph` the runner builds from
-the full module set; and three (budget-leak plus the two newest
-interprocedural passes) are built on the :mod:`repro.analysis.cfg` /
-:mod:`repro.analysis.dataflow` engine or the call graph's reachability
-queries.
+the full module set; and four (budget-leak, hot-path-copy,
+async-discipline, state-drift) are built on the
+:mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow` engine or
+the call graph's reachability queries.  The two newest passes bind the
+code to its declarative models: state-drift cross-checks lifecycle
+mutations against :mod:`repro.core.state_table`, and shard-ownership
+checks that mutations stay inside their declared owner domain.
 """
 
 from __future__ import annotations
@@ -22,6 +25,8 @@ from repro.analysis.passes.layering import LayeringPass
 from repro.analysis.passes.mutable_sharing import MutableSharingPass
 from repro.analysis.passes.rng_flow import RngFlowPass
 from repro.analysis.passes.seam_purity import SeamPurityPass
+from repro.analysis.passes.shard_ownership import ShardOwnershipPass
+from repro.analysis.passes.state_drift import StateDriftPass
 from repro.analysis.passes.wire_drift import WireDriftPass
 from repro.analysis.passes.wire_width import WireWidthPass
 
@@ -39,6 +44,8 @@ __all__ = [
     "MutableSharingPass",
     "SeamPurityPass",
     "AsyncDisciplinePass",
+    "StateDriftPass",
+    "ShardOwnershipPass",
     "all_passes",
 ]
 
@@ -59,4 +66,6 @@ def all_passes() -> list[Pass]:
         MutableSharingPass(),
         SeamPurityPass(),
         AsyncDisciplinePass(),
+        StateDriftPass(),
+        ShardOwnershipPass(),
     ]

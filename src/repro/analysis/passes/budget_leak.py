@@ -36,7 +36,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.analysis.cfg import Step, build_cfg
+from repro.analysis.cfg import Step
 from repro.analysis.core import Finding, ModuleUnit, Pass
 from repro.analysis.dataflow import ForwardAnalysis, run_forward
 
@@ -220,7 +220,7 @@ class BudgetLeakPass(Pass):
     ) -> Iterator[Finding]:
         if not _mentions_acquire(func):
             return
-        cfg = build_cfg(func)
+        cfg = unit.cfg(func)
         in_states = run_forward(cfg, _TokenFlow())
 
         # Discarded acquires need no dataflow: the token is gone at once.

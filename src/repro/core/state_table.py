@@ -1,0 +1,560 @@
+"""The single source of truth for the connection-lifecycle state machine.
+
+The paper's labelling discipline makes per-conversation state explicit
+and finite — establishment on a SIGNALING chunk, close on C.ST,
+eviction with tombstones — but until now that FSM lived implicitly in
+:class:`~repro.transport.endpoint.ChunkEndpoint` /
+:class:`~repro.transport.endpoint.ConnectionTable` code paths.  This
+module is the one authoritative copy: every lifecycle state and every
+transition as a :class:`Transition` row, with the markdown table, the
+mermaid diagram, and the model checker's transition relation *derived*
+from it.
+
+Consumers:
+
+- :mod:`repro.transport.endpoint`, :mod:`repro.transport.reliability`
+  and :mod:`repro.core.bounded` mark their state-mutating statements
+  with ``# state-table: <transition-id>`` comments; the protolint
+  **state-drift** pass cross-checks each marked site against
+  :data:`STATE_TABLE` and flags unmarked mutations, undeclared sites,
+  and declared transitions with no implementing marker.
+- :mod:`repro.analysis.modelcheck` exhaustively enumerates event
+  interleavings over exactly this transition relation and checks the
+  PR 7 invariants as temporal properties.
+- ``docs/architecture.md`` embeds the rendered table + diagram between
+  ``<!-- state-table:begin -->`` / ``<!-- state-table:end -->``
+  markers; ``python -m repro.analysis state-table --write`` regenerates
+  the block and the state-drift pass fails when it is stale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Sequence
+
+__all__ = [
+    "Transition",
+    "StateTable",
+    "STATES",
+    "INITIAL_STATE",
+    "STATE_TABLE",
+    "BLOCK_BEGIN",
+    "BLOCK_END",
+    "render_markdown",
+    "render_mermaid",
+    "docs_block",
+    "extract_block",
+    "table_path",
+    "row_line",
+    "main",
+]
+
+BLOCK_BEGIN = "<!-- state-table:begin -->"
+BLOCK_END = "<!-- state-table:end -->"
+
+#: Lifecycle states.  ``EVICTED-idle`` covers both sweep reasons (idle
+#: timeout and close-linger) because they share every downstream
+#: behaviour: tombstoned, refusable, forgettable on overflow.
+CLOSED = "CLOSED"
+ESTABLISHING = "ESTABLISHING"
+ESTABLISHED = "ESTABLISHED"
+CLOSING = "CLOSING"
+EVICTED_IDLE = "EVICTED-idle"
+EVICTED_STALLED = "EVICTED-stalled"
+TOMBSTONED = "TOMBSTONED"
+
+STATES: tuple[str, ...] = (
+    CLOSED,
+    ESTABLISHING,
+    ESTABLISHED,
+    CLOSING,
+    EVICTED_IDLE,
+    EVICTED_STALLED,
+    TOMBSTONED,
+)
+
+INITIAL_STATE = CLOSED
+
+#: The event alphabet.  Wire events carry a chunk kind; ``local-*`` are
+#: API calls on the endpoint; ``sweep`` / ``progress-police`` are timer
+#: driven; ``tombstone-overflow`` is the FIFO drop in BoundedSet.
+EVENTS: tuple[str, ...] = (
+    "signaling-chunk",
+    "data-chunk",
+    "ack-chunk",
+    "cst-chunk",
+    "local-open",
+    "local-close",
+    "sweep",
+    "progress-police",
+    "tombstone-overflow",
+)
+
+#: Guards the model checker knows how to evaluate.
+GUARDS: tuple[str, ...] = (
+    "",
+    "pool-has-token",
+    "pool-exhausted",
+    "acked-below-placed",
+    "placed-below-cap",
+)
+
+#: Effects the model checker knows how to apply, in application order.
+EFFECTS: tuple[str, ...] = (
+    "acquire-token",
+    "release-token",
+    "tombstone",
+    "place-bytes",
+    "ack-bytes",
+    "reset-conversation",
+)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One declared lifecycle transition.
+
+    Attributes:
+        transition_id: stable kebab-case id, referenced by
+            ``# state-table:`` markers and counterexample traces.
+        src: source state (one of :data:`STATES`).
+        event: triggering event (one of :data:`EVENTS`).
+        dst: destination state.
+        guard: predicate gating the transition ("" = always enabled).
+        effects: state-mutation effects, applied in :data:`EFFECTS`
+            order by the model checker.
+        sites: fully-qualified function names implementing the
+            transition; every site must carry a matching marker.
+        notes: one-line rationale for the docs table.
+    """
+
+    transition_id: str
+    src: str
+    event: str
+    dst: str
+    guard: str = ""
+    effects: tuple[str, ...] = ()
+    sites: tuple[str, ...] = ()
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.src not in STATES:
+            raise ValueError(f"{self.transition_id}: unknown src state {self.src!r}")
+        if self.dst not in STATES:
+            raise ValueError(f"{self.transition_id}: unknown dst state {self.dst!r}")
+        if self.event not in EVENTS:
+            raise ValueError(f"{self.transition_id}: unknown event {self.event!r}")
+        if self.guard not in GUARDS:
+            raise ValueError(f"{self.transition_id}: unknown guard {self.guard!r}")
+        for effect in self.effects:
+            if effect not in EFFECTS:
+                raise ValueError(f"{self.transition_id}: unknown effect {effect!r}")
+        if not self.sites:
+            raise ValueError(f"{self.transition_id}: a transition needs >= 1 site")
+
+
+@dataclass(frozen=True)
+class StateTable:
+    """The declared lifecycle FSM: states plus the transition relation."""
+
+    states: tuple[str, ...]
+    initial: str
+    transitions: tuple[Transition, ...]
+    by_id: dict[str, Transition] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise ValueError(f"initial state {self.initial!r} not in states")
+        seen: dict[str, Transition] = {}
+        for transition in self.transitions:
+            if transition.transition_id in seen:
+                raise ValueError(f"duplicate transition id {transition.transition_id!r}")
+            seen[transition.transition_id] = transition
+        object.__setattr__(self, "by_id", seen)
+
+    def outgoing(self, state: str) -> tuple[Transition, ...]:
+        return tuple(t for t in self.transitions if t.src == state)
+
+    def sites_for(self, transition_id: str) -> tuple[str, ...]:
+        return self.by_id[transition_id].sites
+
+    def site_modules(self) -> tuple[str, ...]:
+        """Modules hosting at least one declared transition site."""
+        modules = {site.rsplit(".", 2)[0] for t in self.transitions for site in t.sites}
+        return tuple(sorted(modules))
+
+    def validate(self) -> list[str]:
+        """Structural FSM problems: unreachable states, dead ends,
+        unguarded nondeterminism.  Returned as human-readable strings
+        so the state-drift pass can surface them as findings.
+        """
+        problems: list[str] = []
+        reachable = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for transition in self.outgoing(state):
+                if transition.dst not in reachable:
+                    reachable.add(transition.dst)
+                    frontier.append(transition.dst)
+        for state in self.states:
+            if state not in reachable:
+                problems.append(f"state {state} is unreachable from {self.initial}")
+            elif not self.outgoing(state):
+                problems.append(f"state {state} is a dead end (no outgoing transition)")
+        unguarded: dict[tuple[str, str], str] = {}
+        for transition in self.transitions:
+            key = (transition.src, transition.event)
+            if transition.guard == "":
+                if key in unguarded:
+                    problems.append(
+                        f"transitions {unguarded[key]} and {transition.transition_id} "
+                        f"are both unguarded on ({transition.src}, {transition.event})"
+                    )
+                else:
+                    unguarded[key] = transition.transition_id
+        return problems
+
+
+_ENDPOINT = "repro.transport.endpoint"
+_RELIABILITY = "repro.transport.reliability"
+_BOUNDED = "repro.core.bounded"
+
+_EVICT_SITES = (
+    f"{_ENDPOINT}.ChunkEndpoint.sweep",
+    f"{_ENDPOINT}.ChunkEndpoint._evict",
+    f"{_ENDPOINT}.ConnectionTable.evict",
+)
+
+STATE_TABLE = StateTable(
+    states=STATES,
+    initial=INITIAL_STATE,
+    transitions=(
+        Transition(
+            "open-local",
+            CLOSED,
+            "local-open",
+            ESTABLISHING,
+            sites=(
+                f"{_ENDPOINT}.ChunkEndpoint.open_connection",
+                f"{_ENDPOINT}.ConnectionTable.add",
+            ),
+            notes="sender side; resignals SIGNALING until first ack",
+        ),
+        Transition(
+            "establish",
+            CLOSED,
+            "signaling-chunk",
+            ESTABLISHED,
+            guard="pool-has-token",
+            effects=("acquire-token",),
+            sites=(
+                f"{_ENDPOINT}.ChunkEndpoint._try_establish",
+                f"{_ENDPOINT}.ConnectionTable.add",
+            ),
+            notes="receiver side; strict SIGNALING parse, budget token held",
+        ),
+        Transition(
+            "refuse-admission",
+            CLOSED,
+            "signaling-chunk",
+            TOMBSTONED,
+            guard="pool-exhausted",
+            effects=("tombstone",),
+            sites=(f"{_ENDPOINT}.ChunkEndpoint._try_establish",),
+            notes="admission control: refusal is remembered as a tombstone",
+        ),
+        Transition(
+            "establish-acked",
+            ESTABLISHING,
+            "ack-chunk",
+            ESTABLISHED,
+            sites=(f"{_RELIABILITY}.ReliableSender.handle_ack_chunk",),
+            notes="first ack stops SIGNALING resends",
+        ),
+        Transition(
+            "data",
+            ESTABLISHED,
+            "data-chunk",
+            ESTABLISHED,
+            guard="placed-below-cap",
+            effects=("place-bytes",),
+            sites=(f"{_ENDPOINT}.ChunkEndpoint._route_group",),
+            notes="label-routed placement; self-loop",
+        ),
+        Transition(
+            "ack-data",
+            ESTABLISHED,
+            "ack-chunk",
+            ESTABLISHED,
+            guard="acked-below-placed",
+            effects=("ack-bytes",),
+            sites=(f"{_RELIABILITY}.ReliableSender.handle_ack_chunk",),
+            notes="acks may never outrun placement (PR 7 invariant)",
+        ),
+        Transition(
+            "close",
+            ESTABLISHED,
+            "cst-chunk",
+            CLOSING,
+            sites=(
+                f"{_ENDPOINT}.ConnectionTable.mark_closed",
+                f"{_ENDPOINT}.ChunkEndpoint._route_group",
+                f"{_ENDPOINT}.ChunkEndpoint.close_connection",
+            ),
+            notes="C.ST observed; entry lingers for close-linger",
+        ),
+        Transition(
+            "close-local",
+            ESTABLISHING,
+            "local-close",
+            CLOSING,
+            sites=(
+                f"{_ENDPOINT}.ConnectionTable.mark_closed",
+                f"{_ENDPOINT}.ChunkEndpoint.close_connection",
+            ),
+            notes="local close before the peer ever acked",
+        ),
+        Transition(
+            "evict-idle",
+            ESTABLISHED,
+            "sweep",
+            EVICTED_IDLE,
+            effects=("release-token", "tombstone"),
+            sites=_EVICT_SITES,
+            notes="idle timeout; token returned, C.ID tombstoned",
+        ),
+        Transition(
+            "evict-closed",
+            CLOSING,
+            "sweep",
+            EVICTED_IDLE,
+            effects=("release-token", "tombstone"),
+            sites=_EVICT_SITES,
+            notes="close-linger expiry; same eviction path as idle",
+        ),
+        Transition(
+            "evict-stalled",
+            ESTABLISHED,
+            "progress-police",
+            EVICTED_STALLED,
+            effects=("release-token", "tombstone"),
+            sites=(
+                f"{_ENDPOINT}.ChunkEndpoint._police_progress",
+                f"{_ENDPOINT}.ChunkEndpoint._evict",
+                f"{_ENDPOINT}.ConnectionTable.evict",
+            ),
+            notes="slow-loris defence: progress floor missed",
+        ),
+        Transition(
+            "refuse-evicted-idle",
+            EVICTED_IDLE,
+            "data-chunk",
+            EVICTED_IDLE,
+            sites=(f"{_ENDPOINT}.ChunkEndpoint._refuse",),
+            notes="late traffic after idle eviction is refused, not routed",
+        ),
+        Transition(
+            "refuse-evicted-stalled",
+            EVICTED_STALLED,
+            "data-chunk",
+            EVICTED_STALLED,
+            sites=(f"{_ENDPOINT}.ChunkEndpoint._refuse",),
+            notes="late traffic after stall eviction is refused, not routed",
+        ),
+        Transition(
+            "refuse-tombstoned",
+            TOMBSTONED,
+            "data-chunk",
+            TOMBSTONED,
+            sites=(f"{_ENDPOINT}.ChunkEndpoint._refuse",),
+            notes="traffic for an admission-refused C.ID stays refused",
+        ),
+        Transition(
+            "refuse-unknown",
+            CLOSED,
+            "data-chunk",
+            CLOSED,
+            sites=(f"{_ENDPOINT}.ChunkEndpoint._refuse",),
+            notes="data for a C.ID that was never established",
+        ),
+        Transition(
+            "forget-idle",
+            EVICTED_IDLE,
+            "tombstone-overflow",
+            CLOSED,
+            effects=("reset-conversation",),
+            sites=(f"{_BOUNDED}.BoundedSet.add",),
+            notes="FIFO tombstone drop; refusals degrade to refused_unknown",
+        ),
+        Transition(
+            "forget-stalled",
+            EVICTED_STALLED,
+            "tombstone-overflow",
+            CLOSED,
+            effects=("reset-conversation",),
+            sites=(f"{_BOUNDED}.BoundedSet.add",),
+            notes="FIFO tombstone drop for a stall-evicted C.ID",
+        ),
+        Transition(
+            "forget-refused",
+            TOMBSTONED,
+            "tombstone-overflow",
+            CLOSED,
+            effects=("reset-conversation",),
+            sites=(f"{_BOUNDED}.BoundedSet.add",),
+            notes="FIFO tombstone drop for an admission-refused C.ID",
+        ),
+    ),
+)
+
+# The declared FSM must itself be sound: every state reachable, no dead
+# ends, no unguarded nondeterminism.  If this fires, the authoritative
+# table has drifted from its own rules.
+assert STATE_TABLE.validate() == []
+
+
+def render_markdown(table: StateTable = STATE_TABLE) -> str:
+    """The transition relation as GitHub markdown (deterministic)."""
+    lines = [
+        f"### Connection lifecycle — {len(table.states)} states, "
+        f"{len(table.transitions)} transitions",
+        "",
+        "| id | from | event | to | guard | effects | notes |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for t in table.transitions:
+        effects = ", ".join(t.effects) if t.effects else "—"
+        guard = t.guard or "—"
+        lines.append(
+            f"| `{t.transition_id}` | {t.src} | {t.event} | {t.dst} "
+            f"| {guard} | {effects} | {t.notes} |"
+        )
+    return "\n".join(lines)
+
+
+def _mermaid_alias(state: str) -> str:
+    return state.replace("-", "_")
+
+
+def render_mermaid(table: StateTable = STATE_TABLE) -> str:
+    """The FSM as a mermaid ``stateDiagram-v2`` (deterministic)."""
+    lines = ["stateDiagram-v2"]
+    for state in table.states:
+        alias = _mermaid_alias(state)
+        if alias != state:
+            lines.append(f'    state "{state}" as {alias}')
+    lines.append(f"    [*] --> {_mermaid_alias(table.initial)}")
+    for t in table.transitions:
+        label = t.event if not t.guard else f"{t.event} [{t.guard}]"
+        lines.append(
+            f"    {_mermaid_alias(t.src)} --> {_mermaid_alias(t.dst)}: {label}"
+        )
+    return "\n".join(lines)
+
+
+def docs_block(table: StateTable = STATE_TABLE) -> str:
+    """The full generated block, marker lines included."""
+    parts = [
+        BLOCK_BEGIN,
+        "<!-- Generated by `python -m repro.analysis state-table --write`;",
+        "     checked by the protolint state-drift pass. Do not edit. -->",
+        "",
+        render_markdown(table),
+        "",
+        "```mermaid",
+        render_mermaid(table),
+        "```",
+        "",
+        BLOCK_END,
+    ]
+    return "\n".join(parts)
+
+
+def _splice(text: str, block: str) -> str:
+    """Replace (or append) the generated block inside *text*."""
+    begin = text.find(BLOCK_BEGIN)
+    end = text.find(BLOCK_END)
+    if begin != -1 and end != -1 and end > begin:
+        return text[:begin] + block + text[end + len(BLOCK_END):]
+    suffix = "" if text.endswith("\n") else "\n"
+    return text + suffix + "\n## The connection lifecycle (generated)\n\n" + block + "\n"
+
+
+def extract_block(text: str) -> str | None:
+    """The committed generated block of a docs file, or None."""
+    begin = text.find(BLOCK_BEGIN)
+    end = text.find(BLOCK_END)
+    if begin == -1 or end == -1 or end < begin:
+        return None
+    return text[begin:end + len(BLOCK_END)]
+
+
+def table_path() -> Path:
+    """Where the authoritative table lives (for related-location output)."""
+    return Path(__file__)
+
+
+@lru_cache(maxsize=1)
+def _source_lines() -> tuple[str, ...]:
+    return tuple(table_path().read_text(encoding="utf-8").splitlines())
+
+
+def row_line(transition_id: str) -> int:
+    """1-based line of a transition's declaration in this file.
+
+    Used by the state-drift pass and the model checker so findings and
+    counterexamples carry a clickable ``file:line`` of the table row.
+    """
+    needle = f'"{transition_id}"'
+    for number, line in enumerate(_source_lines(), start=1):
+        if needle in line:
+            return number
+    return 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis state-table",
+        description="render / refresh the generated lifecycle state-machine block",
+    )
+    parser.add_argument(
+        "--docs",
+        type=Path,
+        default=Path("docs") / "architecture.md",
+        help="docs file carrying the generated block",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="rewrite the generated block in --docs (default: print it)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when the committed block is stale",
+    )
+    args = parser.parse_args(argv)
+    block = docs_block()
+    if args.check:
+        committed = extract_block(args.docs.read_text(encoding="utf-8"))
+        if committed != block:
+            print(f"state-table: generated block in {args.docs} is stale", file=sys.stderr)
+            return 1
+        print(f"state-table: {args.docs} is up to date")
+        return 0
+    if args.write:
+        text = args.docs.read_text(encoding="utf-8")
+        args.docs.write_text(_splice(text, block), encoding="utf-8")
+        print(f"state-table: wrote generated block to {args.docs}")
+        return 0
+    print(block)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,7 @@ from repro.obs.runtime import CounterHandle
 __all__ = ["TouchLedger", "TouchSpan", "BusModel"]
 
 _OBS_TOUCH_TOTAL = counter("host", "touch_bytes_total", "bytes moved across the bus")
-_KIND_COUNTERS: dict[str, CounterHandle] = {}
+_KIND_COUNTERS: dict[str, CounterHandle] = {}  # owner: global-pool
 
 
 def _kind_counter(kind: str) -> CounterHandle:

@@ -216,7 +216,7 @@ class ConnectionTable:
         cid = connection.connection_id
         if cid in self.connections:
             raise EndpointError(f"C.ID {cid} is already in the connection table")
-        self.connections[cid] = connection
+        self.connections[cid] = connection  # state-table: open-local, establish
         self.established_total += 1
         _OBS_ESTABLISHED.inc()
         _OBS_ACTIVE.set(len(self.connections))
@@ -224,13 +224,14 @@ class ConnectionTable:
     def mark_closed(self, connection: Connection, now: float) -> None:
         if connection.state is ConnectionState.CLOSED:
             return
-        connection.state = ConnectionState.CLOSED
+        connection.state = ConnectionState.CLOSED  # state-table: close, close-local
         connection.closed_at = now
         self.closed_total += 1
         _OBS_CLOSED.inc()
 
     def evict(self, connection_id: int) -> Connection | None:
         """Remove one entry (tombstoning its C.ID); returns it, if any."""
+        # state-table: evict-idle, evict-closed, evict-stalled
         connection = self.connections.pop(connection_id, None)
         if connection is None:
             return None
@@ -394,7 +395,7 @@ class ChunkEndpoint:
             sender=sender,
             _endpoint=self,
         )
-        self.table.add(connection)
+        self.table.add(connection)  # state-table: open-local
         return connection
 
     def _enqueue(self, chunks: list[Chunk]) -> None:
@@ -485,7 +486,7 @@ class ChunkEndpoint:
             self._refuse(cid, rest, events)
             return
 
-        connection.chunks_in += len(rest)
+        connection.chunks_in += len(rest)  # state-table: data
         payload_bytes = sum(c.payload_bytes for c in rest if c.is_data)
         connection.payload_bytes_in += payload_bytes
         _OBS_CHUNKS.inc(len(rest))
@@ -502,7 +503,7 @@ class ChunkEndpoint:
         received = connection.receiver.receive_chunks(rest)
         self._record_touches(connection)
         if received.connection_closed:
-            self.table.mark_closed(connection, now)
+            self.table.mark_closed(connection, now)  # state-table: close
             if _OBS_TRACE:
                 _OBS_TRACE.event("conn_closed", t=now, conn=cid)
             if _OBS_JOURNEY:
@@ -556,7 +557,7 @@ class ChunkEndpoint:
             ) or not self.budget.register(cid):
                 self.connections_refused += 1
                 _OBS_ADMISSION_REFUSED.inc()
-                self.table.evicted_ids.add(cid)
+                self.table.evicted_ids.add(cid)  # state-table: refuse-admission
                 return None
         receiver = ChunkTransportReceiver(
             config=config,
@@ -582,7 +583,7 @@ class ChunkEndpoint:
             receiver=session,
             _endpoint=self,
         )
-        self.table.add(connection)
+        self.table.add(connection)  # state-table: establish
         events.established.append(cid)
         if _OBS_TRACE:
             _OBS_TRACE.event("conn_established", t=now, conn=cid)
@@ -591,6 +592,8 @@ class ChunkEndpoint:
         return connection
 
     def _refuse(self, cid: int, chunks: list[Chunk], events: EndpointEvents) -> None:
+        # state-table: refuse-evicted-idle, refuse-evicted-stalled
+        # state-table: refuse-tombstoned, refuse-unknown
         events.refused_chunks += len(chunks)
         if cid in self.table.evicted_ids:
             self.refused_evicted += len(chunks)
@@ -636,6 +639,7 @@ class ChunkEndpoint:
         connection = self.table.get(cid)
         if connection is None:
             raise EndpointError(f"no connection {cid} to close")
+        # state-table: close, close-local
         self.table.mark_closed(connection, self.loop.now)
 
     def sweep(self, now: float | None = None) -> list[int]:
@@ -657,6 +661,7 @@ class ChunkEndpoint:
                 and connection.state is ConnectionState.CLOSED
                 else "idle"
             )
+            # state-table: evict-idle, evict-closed
             if self._evict(cid, at, reason):
                 evicted.append(cid)
         evicted.extend(self._police_progress(at))
@@ -664,6 +669,7 @@ class ChunkEndpoint:
 
     def _evict(self, cid: int, at: float, reason: str) -> bool:
         tombstones_dropped = self.table.evicted_ids.dropped
+        # state-table: evict-idle, evict-closed, evict-stalled
         connection = self.table.evict(cid)
         if connection is None:
             return False
@@ -716,7 +722,7 @@ class ChunkEndpoint:
                 continue
             delta = connection.payload_bytes_in - connection._progress_bytes
             if delta < self.min_progress_bytes:
-                if self._evict(cid, at, "stalled"):
+                if self._evict(cid, at, "stalled"):  # state-table: evict-stalled
                     self.stalled_evictions += 1
                     _OBS_STALLED.inc()
                     evicted.append(cid)

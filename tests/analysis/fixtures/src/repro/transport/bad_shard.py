@@ -1,0 +1,68 @@
+"""Fixture: cross-domain mutations the shard-ownership pass must flag.
+
+True positives: a per-connection session storing into global-pool
+state, a mutator call on per-endpoint state, the same mutation
+laundered through a module helper (directly and via a forwarding
+helper), a module-level mutable with no declared owner, and a class
+with no owner placement.
+
+Near-misses that must stay clean: a per-endpoint class mutating
+*narrower* per-connection state, same-domain mutation, and a
+module-level mutable that declares its owner.
+"""
+
+_POOL: dict = {}  # owner: global-pool
+_LEAKY: list = []
+
+
+def _reset_table(table):
+    table.registry.clear()
+
+
+def _forward_reset(table, tag):
+    _reset_table(table)
+
+
+class FixtureBudget:  # owner: global-pool
+    def __init__(self) -> None:
+        self.tokens = 4
+
+
+class FixtureTable:  # owner: per-endpoint
+    def __init__(self) -> None:
+        self.registry: dict = {}
+
+
+class FixtureSession:  # owner: per-connection
+    def __init__(self, table: "FixtureTable", budget: "FixtureBudget") -> None:
+        self.table = table
+        self.budget = budget
+        self.placed = 0
+
+    def hijack_store(self) -> None:
+        self.budget.tokens = 0
+
+    def hijack_call(self, key: int) -> None:
+        self.table.clear()
+
+    def launder(self) -> None:
+        _reset_table(self.table)
+
+    def launder_forwarded(self) -> None:
+        _forward_reset(self.table, "retry")
+
+    def own_state_is_fine(self) -> None:
+        self.placed += 1
+
+
+class FixtureEndpointView:  # owner: per-endpoint
+    def __init__(self, session: "FixtureSession") -> None:
+        self.session = session
+
+    def narrower_is_fine(self) -> None:
+        self.session.placed = 0
+
+
+class FixtureStray:
+    def __init__(self) -> None:
+        self.cache: dict = {}

@@ -1,0 +1,50 @@
+"""Fixture: lifecycle mutations that drift from the declared table.
+
+True positives: an undeclared EVICTED→ESTABLISHED resurrection (a
+state mutation with no marker), a transition implemented at a second,
+undeclared site, a marker naming a transition the table never
+declared, and a declared-looking mutation sitting in dead code.
+
+Near-misses that must stay clean: a store to a non-lifecycle
+attribute, and a helper that only reads connection state.
+"""
+
+
+class FixtureConnection:  # owner: per-connection
+    state = "EVICTED-idle"
+
+    def __init__(self) -> None:
+        self.label = ""
+
+
+class FixtureEndpoint:  # owner: per-endpoint
+    def __init__(self) -> None:
+        self.table = None
+
+    def resurrect(self, connection):
+        # TP: undeclared EVICTED -> ESTABLISHED resurrection, no marker.
+        connection.state = "ESTABLISHED"
+
+    def establish_again(self, connection):
+        # TP: `establish` is already implemented at its declared sites;
+        # this second site is not one of them.
+        self.table.add(connection)  # state-table: establish
+
+    def phantom_transition(self, connection):
+        # TP: the marker names a transition the table never declared.
+        connection.state = "CLOSED"  # state-table: warp-speed-close
+
+    def dead_close(self, connection):
+        # TP: the marked mutation is unreachable (dead transition site).
+        if connection is None:
+            return None
+        return connection
+        self.table.mark_closed(connection, 0.0)  # state-table: close
+
+    def relabel_is_fine(self, connection):
+        # Near miss: not a lifecycle attribute.
+        connection.label = "bulk"
+
+    def read_is_fine(self, connection):
+        # Near miss: reading state never drifts.
+        return connection.state

@@ -33,6 +33,8 @@ ALL_PASS_IDS = [
     "mutable-sharing",
     "rng-flow",
     "seam-purity",
+    "shard-ownership",
+    "state-drift",
     "wire-drift",
     "wire-width",
 ]
@@ -149,7 +151,7 @@ class TestBaselineFile:
 
 
 class TestListPasses:
-    def test_lists_all_thirteen(self):
+    def test_lists_all_fifteen(self):
         result = run_protolint("--list-passes")
         assert result.returncode == 0
         for pass_id in ALL_PASS_IDS:
@@ -190,6 +192,11 @@ class TestGithubFormat:
         assert "a 100%25 broken%0Amulti-line message" in rendered
         assert "\nmulti-line" not in rendered
 
+    def test_related_location_is_appended_to_annotations(self):
+        result = run_protolint("--format", "github", "--select", "state-drift", str(FIXTURES))
+        assert result.returncode == 1
+        assert "(see src/repro/core/state_table.py:" in result.stdout
+
 
 class TestSarifFormat:
     def test_real_tree_emits_valid_empty_sarif(self):
@@ -222,6 +229,52 @@ class TestSarifFormat:
         first = run_protolint("--format", "sarif", str(FIXTURES))
         second = run_protolint("--format", "sarif", str(FIXTURES))
         assert first.stdout == second.stdout
+
+    def test_state_drift_findings_carry_related_locations(self):
+        # The "implemented twice" drift links the declaring table row.
+        result = run_protolint("--format", "sarif", "--select", "state-drift", str(FIXTURES))
+        assert result.returncode == 1
+        log = json.loads(result.stdout)
+        [run] = log["runs"]
+        related = [item for item in run["results"] if "relatedLocations" in item]
+        assert related, run["results"]
+        for item in related:
+            [loc] = item["relatedLocations"]
+            physical = loc["physicalLocation"]
+            assert physical["artifactLocation"]["uri"].endswith("state_table.py")
+            assert physical["region"]["startLine"] > 1
+            assert loc["message"]["text"] == "declared here"
+
+
+class TestJobs:
+    def test_parallel_run_is_byte_identical(self):
+        serial = run_protolint("--format", "json", str(FIXTURES))
+        parallel = run_protolint("--format", "json", "--jobs", "4", str(FIXTURES))
+        assert serial.returncode == parallel.returncode == 1
+        assert serial.stdout == parallel.stdout
+
+    def test_parallel_real_tree_is_byte_identical(self):
+        serial = run_protolint("--format", "json", "src/repro")
+        parallel = run_protolint("--format", "json", "--jobs", "4", "src/repro")
+        assert serial.returncode == parallel.returncode == 0
+        assert serial.stdout == parallel.stdout
+
+    def test_jobs_must_be_positive(self):
+        result = run_protolint("--jobs", "0")
+        assert result.returncode == 2
+
+
+class TestStateTableSubcommand:
+    def test_check_passes_on_committed_docs(self):
+        result = run_protolint("state-table", "--check")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "up to date" in result.stdout
+
+    def test_print_emits_generated_block(self):
+        result = run_protolint("state-table")
+        assert result.returncode == 0
+        assert "<!-- state-table:begin -->" in result.stdout
+        assert "stateDiagram-v2" in result.stdout
 
 
 class TestConfigFile:
@@ -280,3 +333,17 @@ class TestCheckBaseline:
         check = run_protolint("--check-baseline")
         assert check.returncode == 0, check.stdout + check.stderr
         assert "baseline ok" in check.stdout
+
+    def test_entry_naming_deleted_pass_exits_nonzero(self, tmp_path):
+        # The entry's fingerprint still fires (not stale), but its pass
+        # was renamed away — the entry is orphaned and must be rejected.
+        baseline = tmp_path / "baseline.json"
+        write = run_protolint(str(FIXTURES), "--baseline", str(baseline), "--write-baseline")
+        assert write.returncode == 0, write.stdout + write.stderr
+        payload = json.loads(baseline.read_text())
+        payload["findings"][0]["pass"] = "retired-pass"
+        baseline.write_text(json.dumps(payload))
+        check = run_protolint(str(FIXTURES), "--baseline", str(baseline), "--check-baseline")
+        assert check.returncode == 1
+        assert "unknown pass 'retired-pass'" in check.stdout
+        assert "stale baseline entry" not in check.stdout

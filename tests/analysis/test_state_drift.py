@@ -1,0 +1,162 @@
+"""True-positive / near-miss tests for the state-drift pass.
+
+The fixture plants the ISSUE 9 acceptance drift — an undeclared
+resurrection of a tombstoned C.ID — plus a transition implemented at a
+second undeclared site, a marker naming a phantom transition, and a
+declared-looking mutation in dead code.  The real tree must be clean,
+and findings must link back to the declaring table row.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.core import Finding, ModuleUnit, run_passes
+from repro.analysis.passes.state_drift import StateDriftPass
+from repro.core.state_table import (
+    CLOSED,
+    ESTABLISHED,
+    STATES,
+    StateTable,
+    Transition,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "src" / "repro"
+REPO_SRC = Path(__file__).parents[2] / "src" / "repro"
+FIXTURE = FIXTURES / "transport" / "bad_state_drift.py"
+
+
+def findings_for(*paths: Path, pass_obj: StateDriftPass | None = None) -> list[Finding]:
+    units = [ModuleUnit.from_path(p) for p in paths]
+    return run_passes(units, [pass_obj or StateDriftPass()])
+
+
+def symbols(findings: list[Finding]) -> set[str]:
+    return {f.symbol for f in findings}
+
+
+class TestFixtureTruePositives:
+    def test_expected_findings_fire(self):
+        got = symbols(findings_for(FIXTURE))
+        assert got == {
+            "undeclared-mutation:FixtureEndpoint.resurrect:26",
+            "undeclared-site:establish:FixtureEndpoint.establish_again",
+            "unknown-transition:warp-speed-close",
+            "undeclared-site:close:FixtureEndpoint.dead_close",
+            "dead-site:FixtureEndpoint.dead_close:42",
+        }
+
+    def test_undeclared_resurrection_is_caught(self):
+        # ISSUE 9 acceptance, static half: the EVICTED->ESTABLISHED
+        # revival with no marker is an undeclared mutation.
+        [finding] = [
+            f for f in findings_for(FIXTURE) if "resurrect" in f.symbol
+        ]
+        assert "no `# state-table:` marker" in finding.message
+        assert finding.severity == "error"
+
+    def test_second_site_links_the_table_row(self):
+        # "Transition implemented twice": the finding carries both the
+        # code site (path/line) and the declaring table row.
+        [finding] = [
+            f for f in findings_for(FIXTURE) if "establish_again" in f.symbol
+        ]
+        assert finding.related_path.endswith("src/repro/core/state_table.py")
+        assert finding.related_line > 1
+        declared = Path(finding.related_path).read_text(encoding="utf-8").splitlines()
+        assert '"establish"' in declared[finding.related_line - 1]
+        assert f"(see {finding.related_path}:{finding.related_line})" in finding.render()
+
+    def test_dead_code_site_is_flagged_via_cfg(self):
+        dead = [f for f in findings_for(FIXTURE) if f.symbol.startswith("dead-site:")]
+        assert len(dead) == 1
+        assert "unreachable state mutation" in dead[0].message
+
+
+class TestNearMisses:
+    def test_non_lifecycle_store_and_read_stay_clean(self):
+        for finding in findings_for(FIXTURE):
+            assert "relabel_is_fine" not in finding.symbol
+            assert "read_is_fine" not in finding.symbol
+
+
+class TestDeclaredCoverage:
+    def test_unimplemented_transition_fires_for_markerless_site(self, tmp_path):
+        table = StateTable(
+            states=STATES,
+            initial=CLOSED,
+            transitions=(
+                Transition(
+                    "t-open",
+                    CLOSED,
+                    "local-open",
+                    ESTABLISHED,
+                    sites=("repro.transport.tiny.Endpoint.open",),
+                ),
+                Transition(
+                    "t-sweep",
+                    ESTABLISHED,
+                    "sweep",
+                    CLOSED,
+                    sites=("repro.transport.tiny.Endpoint.open",),
+                ),
+            ),
+        )
+        path = tmp_path / "repro" / "transport" / "tiny.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "__all__ = []\n\n\n"
+            "class Endpoint:\n"
+            "    def open(self, connection):\n"
+            "        connection.state = 'ESTABLISHED'  # state-table: t-open\n",
+            encoding="utf-8",
+        )
+        got = symbols(findings_for(path, pass_obj=StateDriftPass(table)))
+        assert got == {"unimplemented:t-sweep:Endpoint.open"}
+
+    def test_missing_site_fires_when_function_does_not_exist(self, tmp_path):
+        table = StateTable(
+            states=STATES,
+            initial=CLOSED,
+            transitions=(
+                Transition(
+                    "t-open",
+                    CLOSED,
+                    "local-open",
+                    ESTABLISHED,
+                    sites=("repro.transport.tiny.Endpoint.vanished",),
+                ),
+            ),
+        )
+        path = tmp_path / "repro" / "transport" / "tiny.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("__all__ = []\n", encoding="utf-8")
+        got = symbols(findings_for(path, pass_obj=StateDriftPass(table)))
+        assert got == {"missing-site:t-open:Endpoint.vanished"}
+
+    def test_marker_outside_any_function_is_unanchored(self, tmp_path):
+        path = tmp_path / "repro" / "transport" / "tiny.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "__all__ = []\n# state-table: establish\n", encoding="utf-8"
+        )
+        got = symbols(findings_for(path))
+        assert got == {"marker-unanchored:establish"}
+
+
+class TestRealTree:
+    def test_real_tree_is_clean(self):
+        units = [ModuleUnit.from_path(p) for p in sorted(REPO_SRC.rglob("*.py"))]
+        assert run_passes(units, [StateDriftPass()]) == []
+
+    def test_every_declared_site_is_marked_in_source(self):
+        # Belt and braces over the pass: each declared site's module
+        # actually contains a marker naming the transition.
+        from repro.core.state_table import STATE_TABLE
+
+        for transition in STATE_TABLE.transitions:
+            for site in transition.sites:
+                module = site.rsplit(".", 2)[0]
+                rel = Path(*module.split(".")[1:]).with_suffix(".py")
+                source = (REPO_SRC / rel).read_text(encoding="utf-8")
+                assert transition.transition_id in source, site
