@@ -24,6 +24,8 @@ O(1) per chunk); the hog never stalls nor starves its peers.
 
 from __future__ import annotations
 
+import tracemalloc
+
 from _common import print_table, register_bench, scaled
 from repro.app.concurrent import (
     ConcurrentWorkload,
@@ -33,14 +35,26 @@ from repro.app.concurrent import (
 from repro.host.budget import SharedPlacementBudget
 from repro.netsim.bottleneck import build_shared_bottleneck
 from repro.netsim.events import EventLoop
+from repro.netsim.shardloop import ShardedLoop
 from repro.netsim.topology import HopSpec
 from repro.transport.connection import ConnectionConfig
 from repro.transport.endpoint import ChunkEndpoint
+from repro.transport.shard import ShardedEndpoint
 
 CONN_TIERS = (16, 64, 256)
 OBJECT_BYTES = 4096
 LOSS = 0.01
 STAGGER = 0.0005
+
+#: The sharded sweep: tiers one endpoint cannot reasonably hold, run on
+#: 8 C.ID-hashed worker shards with smaller objects (the point is state
+#: scale — tables, budgets, tombstones — not per-conversation volume).
+SHARDED_TIERS = (1000, 10000)
+SHARDED_SHARDS = 8
+SHARDED_OBJECT_BYTES = 1024
+#: Batch cross-shard egress over a couple of stagger slots so envelopes
+#: genuinely mix shards (flushing each send alone would hide the packer).
+SHARD_FLUSH_WINDOW = 0.001
 
 
 def jain_fairness(shares: list[int]) -> float:
@@ -102,6 +116,71 @@ def run_tier(conversations: int, object_bytes: int = OBJECT_BYTES, seed: int = 1
     }
 
 
+def run_sharded_tier(
+    conversations: int,
+    shards: int = SHARDED_SHARDS,
+    object_bytes: int = SHARDED_OBJECT_BYTES,
+    seed: int = 29,
+    measure_alloc: bool = False,
+) -> dict:
+    """One sharded tier; figures are deterministic except the optional
+    ``tracemalloc_peak_kib``, which is printed-only and never part of
+    the registered ``run()`` output (allocator peaks vary run to run,
+    and the perf comparator treats figure drift as a regression)."""
+    if measure_alloc:
+        tracemalloc.start()
+    loop = ShardedLoop()
+    sender = ShardedEndpoint(
+        loop, mtu=1500, shards=shards, idle_timeout=5.0,
+        flush_window=SHARD_FLUSH_WINDOW,
+    )
+    receiver = ShardedEndpoint(
+        loop, mtu=1500, shards=shards, idle_timeout=5.0,
+        flush_window=SHARD_FLUSH_WINDOW,
+    )
+    net = build_shared_bottleneck(
+        loop.member(0),
+        pairs=[(receiver.receive_packet, sender.receive_packet)],
+        bottleneck=HopSpec(mtu=1500, rate_bps=622e6, delay=0.0005, loss_rate=LOSS),
+        reverse=HopSpec(mtu=1500, rate_bps=622e6, delay=0.0005),
+        seed=seed + conversations,
+    )
+    port = net.ports[0]
+    sender.transmit = port.send
+    receiver.transmit = port.send_reverse
+    work = ConcurrentWorkload(loop, sender, receiver)
+    work.launch(staggered_specs(conversations, total_bytes=object_bytes, stagger=STAGGER))
+    outcomes = work.run()
+    complete = sum(1 for o in outcomes if o.complete)
+    shares = [
+        c.chunks_in
+        for shard in receiver.shards
+        for c in shard.endpoint.table.connections.values()
+    ]
+    sim_time = loop.now
+    loop.at(sim_time + 5.0 + 1.0, lambda: None)
+    loop.run()
+    evicted = len(receiver.sweep())
+    result = {
+        "conversations": conversations,
+        "shards": shards,
+        "complete": complete,
+        "sim_time": round(sim_time, 6),
+        "goodput_mbps": round(complete * object_bytes * 8 / sim_time / 1e6, 3),
+        "fairness": round(jain_fairness(shares), 4),
+        "peak_pool_bytes": receiver.pool.peak_lent,
+        "cross_shard_packets": sender.cross_shard_packets,
+        "fanout_packets": receiver.router.fanout_packets,
+        "evicted": evicted,
+        "pool_after_sweep": receiver.pool.lent_total,
+    }
+    if measure_alloc:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        result["tracemalloc_peak_kib"] = peak // 1024
+    return result
+
+
 def run_hog(
     peers: int = 8,
     peer_bytes: int = 4096,
@@ -158,6 +237,15 @@ def test_eviction_reclaims_table_and_pool():
     assert figures["pool_after_sweep"] == 0
 
 
+def test_sharded_tier_completes_fairly_and_reclaims_the_pool():
+    figures = run_sharded_tier(64)
+    assert figures["complete"] == 64
+    assert figures["fairness"] > 0.9
+    assert figures["evicted"] == 64
+    assert figures["pool_after_sweep"] == 0
+    assert figures["cross_shard_packets"] > 0
+
+
 def test_hog_is_refused_without_stalling_peers():
     figures = run_hog()
     assert figures["peers_complete"] == figures["peers"]
@@ -186,6 +274,17 @@ def run(payload_scale: float = 1.0) -> dict:
         figures[f"{key}.peak_pool_bytes"] = result["peak_pool_bytes"]
         figures[f"{key}.mixed_packets"] = result["mixed_packets"]
         figures[f"{key}.evicted"] = result["evicted"]
+    for tier in SHARDED_TIERS:
+        conversations = scaled(tier, payload_scale, minimum=SHARDED_SHARDS)
+        result = run_sharded_tier(conversations)
+        key = f"sharded_{tier}"
+        figures[f"{key}.complete"] = result["complete"]
+        figures[f"{key}.goodput_mbps"] = result["goodput_mbps"]
+        figures[f"{key}.fairness"] = result["fairness"]
+        figures[f"{key}.peak_pool_bytes"] = result["peak_pool_bytes"]
+        figures[f"{key}.cross_shard_packets"] = result["cross_shard_packets"]
+        figures[f"{key}.evicted"] = result["evicted"]
+        figures[f"{key}.pool_after_sweep"] = result["pool_after_sweep"]
     hog = run_hog()
     figures["hog.peers_complete"] = hog["peers_complete"]
     figures["hog.gave_up"] = hog["hog_gave_up"]
@@ -209,6 +308,22 @@ def main():
     print_table(
         "SCALE-CONN — one multiplexed endpoint, N concurrent conversations",
         rows,
+    )
+    sharded_rows = [(
+        "conns", "shards", "complete", "sim time (s)", "goodput (Mbps)",
+        "fairness", "peak pool (KiB)", "x-shard pkts", "alloc peak (KiB)",
+    )]
+    for tier in SHARDED_TIERS:
+        result = run_sharded_tier(tier, measure_alloc=True)
+        sharded_rows.append((
+            tier, result["shards"], result["complete"], result["sim_time"],
+            result["goodput_mbps"], result["fairness"],
+            result["peak_pool_bytes"] // 1024, result["cross_shard_packets"],
+            result["tracemalloc_peak_kib"],
+        ))
+    print_table(
+        "SCALE-CONN (sharded) — C.ID-hashed worker shards, one pool, one wire",
+        sharded_rows,
     )
     hog = run_hog()
     print(

@@ -11,7 +11,11 @@ lossy bottleneck, then prints the per-connection picture: bytes, touch
 budget, retransmissions, and the endpoint's connection-table lifecycle
 (including idle eviction reclaiming state afterwards).
 
-Run:  python examples/many_conversations.py [--trace many.jsonl]
+Run:  python examples/many_conversations.py [--trace many.jsonl] [--shards N]
+
+With ``--shards N`` the same workload runs on a ``ShardedEndpoint``
+pair: N C.ID-hashed worker shards behind one wire and one global budget
+pool — same conversations, same delivered bytes, the state partitioned.
 
 With ``--trace PATH`` the run records per-layer counters (including the
 per-connection ``conn=<C.ID>``-labelled hot-path metrics) via
@@ -22,9 +26,9 @@ import argparse
 import sys
 
 from repro.app import ConcurrentWorkload, staggered_specs
-from repro.netsim import EventLoop, HopSpec, build_shared_bottleneck
+from repro.netsim import EventLoop, HopSpec, ShardedLoop, build_shared_bottleneck
 from repro.obs import session, write_jsonl
-from repro.transport import ChunkEndpoint
+from repro.transport import ChunkEndpoint, ShardedEndpoint
 
 CONVERSATIONS = 32
 OBJECT_BYTES = 24 * 1024
@@ -37,21 +41,36 @@ def main(argv: list[str] | None = None) -> None:
         "--trace", metavar="PATH", default=None,
         help="write an observability trace (JSONL) to PATH",
     )
+    parser.add_argument(
+        "--shards", metavar="N", type=int, default=0,
+        help="run the endpoints as N C.ID-hashed worker shards (0 = unsharded)",
+    )
     options = parser.parse_args(argv if argv is not None else [])
 
-    loop = EventLoop()
+    loop = ShardedLoop() if options.shards else EventLoop()
     with session(clock=lambda: loop.now) as (registry, tracer):
-        _run(loop)
+        _run(loop, options.shards)
         if options.trace is not None:
             records = write_jsonl(options.trace, registry=registry, tracer=tracer)
             print(f"trace: {records} records -> {options.trace}")
 
 
-def _run(loop: EventLoop) -> None:
-    sender = ChunkEndpoint(loop, mtu=1500, idle_timeout=5.0)
-    receiver = ChunkEndpoint(loop, mtu=1500, idle_timeout=5.0)
+def _run(loop: EventLoop | ShardedLoop, shards: int = 0) -> None:
+    if shards:
+        netloop = loop.member(0)
+        # Batch cross-shard egress briefly so envelopes mix shards.
+        sender = ShardedEndpoint(
+            loop, mtu=1500, shards=shards, idle_timeout=5.0, flush_window=0.001
+        )
+        receiver = ShardedEndpoint(
+            loop, mtu=1500, shards=shards, idle_timeout=5.0, flush_window=0.001
+        )
+    else:
+        netloop = loop
+        sender = ChunkEndpoint(loop, mtu=1500, idle_timeout=5.0)
+        receiver = ChunkEndpoint(loop, mtu=1500, idle_timeout=5.0)
     net = build_shared_bottleneck(
-        loop,
+        netloop,
         pairs=[(receiver.receive_packet, sender.receive_packet)],
         bottleneck=HopSpec(mtu=1500, rate_bps=155e6, delay=0.001, loss_rate=LOSS),
         reverse=HopSpec(mtu=1500, rate_bps=155e6, delay=0.001, loss_rate=LOSS),
@@ -70,6 +89,7 @@ def _run(loop: EventLoop) -> None:
     print(
         f"{CONVERSATIONS} conversations x {OBJECT_BYTES} bytes over one "
         f"{LOSS:.0%}-loss bottleneck (both ways)"
+        + (f", {shards} worker shards" if shards else "")
     )
     print(f"{'C.ID':>5} {'kind':>6} {'bytes':>7} {'t/byte':>7} "
           f"{'frames':>7} {'ok':>3}")
@@ -85,17 +105,29 @@ def _run(loop: EventLoop) -> None:
     print(f"byte-exact: {complete}/{len(outcomes)}")
     print(f"receiver table: {receiver.stats()}")
     print(f"mixed-conversation packets sent: {sender.mixed_packets}")
+    if shards:
+        per_shard = [
+            len(shard.endpoint.table.connections) for shard in receiver.shards
+        ]
+        print(f"connections per shard: {per_shard}")
+        print(f"cross-shard packets sent: {sender.cross_shard_packets}")
+        print(f"ingress fan-out packets: {receiver.router.fanout_packets}")
 
     # Idle eviction: advance past the idle timeout and sweep; every
-    # conversation's placement bytes return to the shared pool.
-    held_before = receiver.budget.reserved_total
-    loop.at(loop.now + receiver.idle_timeout + 1.0, lambda: None)
+    # conversation's placement bytes return to the shared pool (for the
+    # sharded pair, every borrowed block goes back to the global pool).
+    if shards:
+        held_before = receiver.pool.lent_total
+    else:
+        held_before = receiver.budget.reserved_total
+    loop.at(loop.now + 5.0 + 1.0, lambda: None)
     loop.run()
     evicted = receiver.sweep()
+    held_after = receiver.pool.lent_total if shards else receiver.budget.reserved_total
     print(
         f"idle sweep evicted {len(evicted)} connections, reclaiming "
-        f"{held_before - receiver.budget.reserved_total} bytes "
-        f"(pool now holds {receiver.budget.reserved_total})"
+        f"{held_before - held_after} bytes "
+        f"(pool now holds {held_after})"
     )
 
 

@@ -7,14 +7,18 @@ the concurrency exists — the static runway guard, the way
 ``async-discipline`` guards the asyncio runner of item 1.
 
 Every class reachable from the transport/host entry points is placed
-in one of three owner domains, narrowest first:
+in one of four owner domains, narrowest first:
 
 - ``per-connection`` — owned by a single conversation (sessions,
   placement buffers, touch ledgers);
-- ``per-endpoint`` — owned by one endpoint/event-loop shard
-  (connection table, tombstones, demux, NIC models);
+- ``per-shard`` — owned by one worker shard and its event loop
+  (connection table, tombstones, demux, the shard's egress queue);
+- ``per-endpoint`` — the sharded composition that owns every worker
+  (:class:`~repro.transport.shard.ShardedEndpoint`, its ingress router
+  and cross-shard packer, NIC models);
 - ``global-pool`` — shared across every shard
-  (:class:`~repro.host.budget.SharedPlacementBudget`).
+  (:class:`~repro.host.budget.SharedPlacementBudget`,
+  :class:`~repro.host.pool.GlobalBudgetPool`).
 
 Placement comes from :data:`OWNER_DOMAINS` (the curated table for the
 real tree) or a ``# owner: <domain>`` comment on the class definition
@@ -50,8 +54,9 @@ __all__ = ["ShardOwnershipPass", "OWNER_DOMAINS", "SEAM_METHODS"]
 #: Domain lattice, narrowest to widest.
 DOMAIN_RANK: dict[str, int] = {
     "per-connection": 0,
-    "per-endpoint": 1,
-    "global-pool": 2,
+    "per-shard": 1,
+    "per-endpoint": 2,
+    "global-pool": 3,
 }
 
 #: Curated owner placement for every mutable transport/host class plus
@@ -68,10 +73,16 @@ OWNER_DOMAINS: dict[str, str] = {
     "ChunkTransportReceiver": "per-connection",
     "ReceiverEvents": "per-connection",
     "_TpduRecord": "per-connection",
-    # transport — per-endpoint
-    "ChunkEndpoint": "per-endpoint",
-    "ConnectionTable": "per-endpoint",
-    "EndpointEvents": "per-endpoint",
+    # transport — per-shard (one worker owns each of these outright;
+    # the sharded composition never reaches into them except through
+    # declared seams)
+    "ChunkEndpoint": "per-shard",
+    "ConnectionTable": "per-shard",
+    "EndpointEvents": "per-shard",
+    "EndpointShard": "per-shard",
+    # transport — per-endpoint (the sharded composition)
+    "ShardedEndpoint": "per-endpoint",
+    "ShardRouter": "per-endpoint",
     # host — per-connection
     "PlacementBuffer": "per-connection",
     "FrameStore": "per-connection",
@@ -92,11 +103,15 @@ OWNER_DOMAINS: dict[str, str] = {
     "TypeDemux": "per-endpoint",
     "WordFunction": "per-endpoint",
     "IlpResult": "per-endpoint",
+    # host — per-shard
+    "ShardBudget": "per-shard",
     # shared pools
     "SharedPlacementBudget": "global-pool",
+    "GlobalBudgetPool": "global-pool",
     # externally-defined types reachable from transport/host fields
-    "EventLoop": "per-endpoint",
-    "BoundedSet": "per-endpoint",
+    "EventLoop": "per-shard",
+    "ShardedLoop": "per-endpoint",
+    "BoundedSet": "per-shard",
 }
 
 #: Declared seams: the sanctioned cross-domain mutation channels.
@@ -107,6 +122,8 @@ SEAM_METHODS: frozenset[tuple[str, str]] = frozenset(
         ("SharedPlacementBudget", "acquire"),
         ("SharedPlacementBudget", "release"),
         ("SharedPlacementBudget", "release_bytes"),
+        ("GlobalBudgetPool", "lend"),
+        ("GlobalBudgetPool", "reclaim"),
         ("ChunkEndpoint", "_enqueue"),
         ("EventLoop", "schedule"),
         ("EventLoop", "at"),
@@ -127,6 +144,8 @@ MUTATOR_METHODS: frozenset[str] = frozenset(
         "popitem",
         "popleft",
         "push",
+        "lend",
+        "reclaim",
         "remove",
         "setdefault",
         "sort",
@@ -138,7 +157,9 @@ MUTATOR_METHODS: frozenset[str] = frozenset(
 _MUTABLE_CTORS = frozenset({"list", "dict", "set", "deque", "defaultdict", "OrderedDict"})
 
 #: ``# owner: per-endpoint``
-_OWNER_RE = re.compile(r"#\s*owner:\s*(per-connection|per-endpoint|global-pool)")
+_OWNER_RE = re.compile(
+    r"#\s*owner:\s*(per-connection|per-shard|per-endpoint|global-pool)"
+)
 
 #: Base-class names marking a class as non-mutable-state (skipped).
 _SKIP_BASES = ("Enum", "Protocol", "Exception", "Error", "NamedTuple", "ABC")
@@ -281,7 +302,8 @@ class ShardOwnershipPass(Pass):
                 node.lineno,
                 f"class {node.name} holds mutable transport/host state but "
                 "has no owner domain — add it to OWNER_DOMAINS or mark the "
-                "class with `# owner: per-connection|per-endpoint|global-pool`",
+                "class with `# owner: "
+                "per-connection|per-shard|per-endpoint|global-pool`",
                 symbol=f"unplaced-class:{node.name}",
             )
 
@@ -324,7 +346,7 @@ class ShardOwnershipPass(Pass):
                     stmt.lineno,
                     f"module-level mutable {name} has no declared owner "
                     "domain — mark the assignment with `# owner: "
-                    "per-connection|per-endpoint|global-pool`",
+                    "per-connection|per-shard|per-endpoint|global-pool`",
                     symbol=f"unowned-module-mutable:{name}",
                 )
 

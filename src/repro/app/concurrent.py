@@ -22,9 +22,11 @@ from typing import Callable
 
 from repro.core.errors import EndpointError
 from repro.netsim.events import EventLoop
+from repro.netsim.shardloop import ShardedLoop
 from repro.obs import counter, gauge
 from repro.transport.connection import ConnectionConfig
 from repro.transport.endpoint import ChunkEndpoint, Connection
+from repro.transport.shard import ShardedEndpoint
 
 __all__ = [
     "ConversationSpec",
@@ -87,9 +89,9 @@ class ConversationOutcome:
 class ConcurrentWorkload:
     """Drive many staggered conversations across one endpoint pair."""
 
-    loop: EventLoop
-    sender: ChunkEndpoint
-    receiver: ChunkEndpoint
+    loop: EventLoop | ShardedLoop
+    sender: ChunkEndpoint | ShardedEndpoint
+    receiver: ChunkEndpoint | ShardedEndpoint
     specs: list[ConversationSpec] = field(default_factory=list)
     launched: int = 0
     refused: int = 0

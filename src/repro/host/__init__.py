@@ -6,6 +6,7 @@ placement (spatial reordering).
 
 from repro.host.budget import BudgetExceededError, SharedPlacementBudget
 from repro.host.delivery import FrameStore, PlacementBuffer
+from repro.host.pool import GlobalBudgetPool, ShardBudget
 from repro.host.ilp import (
     IlpResult,
     WordFunction,
@@ -31,6 +32,8 @@ __all__ = [
     "BusModel",
     "SharedPlacementBudget",
     "BudgetExceededError",
+    "GlobalBudgetPool",
+    "ShardBudget",
     "ProcessingUnit",
     "TypeDemux",
     "parallel_split",

@@ -72,18 +72,44 @@ class SharedPlacementBudget:
         """Connections currently drawing from the pool."""
         return len(self._reserved)
 
+    def _fair_base(self) -> int:
+        """Bytes the fair-share cap divides among registered keys.
+
+        Subclass hook (:class:`repro.host.pool.ShardBudget` caps shards
+        at their share of the endpoint pool, not at their elastic
+        borrowed backing).
+        """
+        return self.pool_bytes
+
+    def _admission_capacity(self) -> int:
+        """Bytes a registration's minimum-share promise is checked against.
+
+        Subclass hook: a shard budget admits against what it *could*
+        borrow, not only what it currently holds.
+        """
+        return self.pool_bytes
+
+    def _ensure_backing(self, nbytes: int) -> bool:
+        """True when *nbytes* more can be backed by this budget's pool.
+
+        Subclass hook: a shard budget borrows token blocks from the
+        :class:`repro.host.pool.GlobalBudgetPool` here.  Called only
+        after the fair-share check passes, so a refusal never borrows.
+        """
+        return self.reserved_total + nbytes <= self.pool_bytes
+
     def fair_share(self) -> int:
         """The per-connection reservation cap at the current occupancy."""
         if not self._reserved:
-            return self.pool_bytes
-        return max(self.pool_bytes // len(self._reserved), self.min_share_bytes)
+            return self._fair_base()
+        return max(self._fair_base() // len(self._reserved), self.min_share_bytes)
 
     def register(self, key: object) -> bool:
         """Admit *key* to the pool; False when even a minimum share
         cannot be promised (the endpoint refuses the connection)."""
         if key in self._reserved:
             return True
-        if (len(self._reserved) + 1) * self.min_share_bytes > self.pool_bytes:
+        if (len(self._reserved) + 1) * self.min_share_bytes > self._admission_capacity():
             self.refusals += 1
             self.refused_keys.add(key)
             _OBS_REFUSALS.inc()
@@ -109,10 +135,7 @@ class SharedPlacementBudget:
             if not self.register(key):
                 return False
             held = 0
-        if (
-            held + nbytes > self.fair_share()
-            or self.reserved_total + nbytes > self.pool_bytes
-        ):
+        if held + nbytes > self.fair_share() or not self._ensure_backing(nbytes):
             self.refusals += 1
             self.refused_keys.add(key)
             _OBS_REFUSALS.inc()

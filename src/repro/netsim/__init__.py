@@ -16,6 +16,7 @@ from repro.netsim.link import Link, LinkStats
 from repro.netsim.multipath import MultipathChannel, aurora_stripe
 from repro.netsim.router import ChunkRouter, RepackMode, RouterStats
 from repro.netsim.rng import corrupt_bytes, default_rng, substream
+from repro.netsim.shardloop import ShardedLoop
 from repro.netsim.routechange import RouteSwitcher
 from repro.netsim.topology import ChunkPath, HopSpec, build_chunk_path
 from repro.netsim.trace import ArrivalRecord, ReceiverTrace
@@ -26,6 +27,7 @@ __all__ = [
     "BottleneckQueue",
     "QueueStats",
     "EventLoop",
+    "ShardedLoop",
     "Link",
     "LinkStats",
     "MultipathChannel",

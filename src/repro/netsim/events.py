@@ -110,6 +110,46 @@ class EventLoop:
             if self.now > started:
                 _OBS_SIM_TIME.inc(self.now - started)
 
+    def next_event_time(self) -> float | None:
+        """Time of the earliest pending event, or ``None`` when idle."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def step(self) -> bool:
+        """Dispatch exactly one event; returns False when the queue is empty.
+
+        Used by :class:`repro.netsim.shardloop.ShardedLoop` to interleave
+        several loops in deterministic lockstep.  Sim-time accounting is the
+        composer's job (it knows the global clock), so ``step`` advances
+        ``now`` without touching the sim-time counter.
+        """
+        if not self._queue:
+            return False
+        time, seq, callback = heapq.heappop(self._queue)
+        self.now = time
+        self._processed += 1
+        _OBS_EVENTS.inc()
+        if _observer is not None:
+            _observer.on_dispatch(self, time, seq, callback)
+        callback()
+        return True
+
+    def advance_to(self, time: float) -> None:
+        """Move the idle clock forward to *time* without dispatching.
+
+        Refuses to rewind and refuses to skip past a pending event — the
+        lockstep composer must dispatch that event (via :meth:`step`) first.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot advance to {time} < now {self.now}")
+        head = self.next_event_time()
+        if head is not None and time > head:
+            raise ValueError(
+                f"cannot advance to {time} past pending event at {head}"
+            )
+        self.now = time
+
     def pending(self) -> int:
         return len(self._queue)
 

@@ -17,6 +17,12 @@ from repro.transport.endpoint import (
     EndpointEvents,
 )
 from repro.transport.receiver import ChunkTransportReceiver, ReceiverEvents
+from repro.transport.shard import (
+    EndpointShard,
+    ShardedEndpoint,
+    ShardRouter,
+    shard_for,
+)
 from repro.transport.reliability import (
     AdaptiveTpduPolicy,
     ReliableReceiver,
@@ -42,4 +48,8 @@ __all__ = [
     "ConnectionState",
     "ConnectionTable",
     "EndpointEvents",
+    "shard_for",
+    "EndpointShard",
+    "ShardRouter",
+    "ShardedEndpoint",
 ]

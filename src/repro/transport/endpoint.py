@@ -202,6 +202,15 @@ class ConnectionTable:
     established_total: int = 0
     closed_total: int = 0
     evicted_total: int = 0
+    #: when set, caps the tombstone FIFO at this many entries instead of
+    #: the :class:`BoundedSet` default — a sharded endpoint divides its
+    #: endpoint-wide bound across per-shard tables so N shards cannot
+    #: hold N× the tombstone memory of one endpoint.
+    tombstone_capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.tombstone_capacity is not None:
+            self.evicted_ids = BoundedSet(max_entries=self.tombstone_capacity)
 
     def __len__(self) -> int:
         return len(self.connections)
@@ -330,6 +339,16 @@ class ChunkEndpoint:
     #: *before* its sessions are dropped — harnesses snapshot delivery
     #: state here, since eviction reclaims it.
     on_evict: Callable[[Connection], None] | None = None
+    #: when this endpoint runs as one worker of a
+    #: :class:`repro.transport.shard.ShardedEndpoint`, its shard number —
+    #: obs counters, trace events, and journey records gain a
+    #: ``shard=<i>`` label.  ``None`` (the unsharded default) emits the
+    #: exact same telemetry as before sharding existed.
+    shard_index: int | None = None
+    #: egress override: when set, :meth:`_enqueue` hands chunks here
+    #: instead of the endpoint's own packer — the sharded composition
+    #: points this at the cross-shard egress queue.
+    egress_sink: Callable[[list[Chunk]], None] | None = None
 
     packets_received: int = 0
     decode_failures: int = 0
@@ -405,6 +424,9 @@ class ChunkEndpoint:
         window share envelopes — multi-connection packets are the
         normal case here, not a special mode.
         """
+        if self.egress_sink is not None:
+            self.egress_sink(chunks)
+            return
         self._egress.extend(chunks)
         if not self._flush_scheduled:
             self._flush_scheduled = True
@@ -426,7 +448,9 @@ class ChunkEndpoint:
             if _OBS_JOURNEY:
                 for chunk in packet.chunks:
                     if chunk.is_data:
-                        _OBS_JOURNEY.chunk("packed", chunk, t=self.loop.now)
+                        _OBS_JOURNEY.chunk(
+                            "packed", chunk, t=self.loop.now, **self._shard_labels()
+                        )
             encoded = packet.encode()
             self.bytes_sent += len(encoded)
             self.packets_sent += 1
@@ -441,6 +465,12 @@ class ChunkEndpoint:
     # Receiving side
     # ------------------------------------------------------------------
 
+    def _shard_labels(self) -> dict[str, int]:
+        """Extra obs labels: ``{"shard": i}`` when sharded, else empty."""
+        if self.shard_index is None:
+            return {}
+        return {"shard": self.shard_index}
+
     def receive_packet(self, frame: bytes) -> EndpointEvents:
         """Decode one wire packet and demultiplex its chunks by C.ID."""
         events = EndpointEvents()
@@ -452,14 +482,31 @@ class ChunkEndpoint:
             self.decode_failures += 1
             events.decode_failed = True
             return events
+        self._dispatch(packet.chunks, events)
+        return events
+
+    def receive_chunks(self, chunks: list[Chunk]) -> EndpointEvents:
+        """Demultiplex already-decoded *chunks* (the decode-once path).
+
+        The :class:`repro.transport.shard.ShardedEndpoint` router decodes
+        each wire packet exactly once, then hands every shard its own
+        chunk group through this entry — re-encoding/re-decoding per
+        shard would break the touch budget the labels exist to protect.
+        """
+        events = EndpointEvents()
+        self.packets_received += 1
+        _OBS_PACKETS.inc()
+        self._dispatch(chunks, events)
+        return events
+
+    def _dispatch(self, chunks: list[Chunk], events: EndpointEvents) -> None:
         now = self.loop.now
         # Group by conversation, preserving arrival order within each.
         groups: dict[int, list[Chunk]] = {}
-        for chunk in packet.chunks:
+        for chunk in chunks:
             groups.setdefault(chunk.c.ident, []).append(chunk)
         for cid, group in groups.items():
             self._route_group(cid, group, now, events)
-        return events
 
     def _route_group(
         self, cid: int, group: list[Chunk], now: float, events: EndpointEvents
@@ -493,10 +540,11 @@ class ChunkEndpoint:
         if _OBS_JOURNEY:
             for chunk in rest:
                 if chunk.is_data:
-                    _OBS_JOURNEY.chunk("demux", chunk, t=now)
+                    _OBS_JOURNEY.chunk("demux", chunk, t=now, **self._shard_labels())
         if self.per_connection_metrics:
             labelled_counter(
-                "transport", "endpoint.chunks_routed", conn=cid
+                "transport", "endpoint.chunks_routed", conn=cid,
+                **self._shard_labels(),
             ).inc(len(rest))
         connection.last_activity = now
 
@@ -505,9 +553,11 @@ class ChunkEndpoint:
         if received.connection_closed:
             self.table.mark_closed(connection, now)  # state-table: close
             if _OBS_TRACE:
-                _OBS_TRACE.event("conn_closed", t=now, conn=cid)
+                _OBS_TRACE.event("conn_closed", t=now, conn=cid, **self._shard_labels())
             if _OBS_JOURNEY:
-                _OBS_JOURNEY.emit("closed", cid, 0, 0, t=now, level="conn")
+                _OBS_JOURNEY.emit(
+                    "closed", cid, 0, 0, t=now, level="conn", **self._shard_labels()
+                )
         previous = events.per_connection.get(cid)
         if previous is None:
             events.per_connection[cid] = received
@@ -586,9 +636,13 @@ class ChunkEndpoint:
         self.table.add(connection)  # state-table: establish
         events.established.append(cid)
         if _OBS_TRACE:
-            _OBS_TRACE.event("conn_established", t=now, conn=cid)
+            _OBS_TRACE.event(
+                "conn_established", t=now, conn=cid, **self._shard_labels()
+            )
         if _OBS_JOURNEY:
-            _OBS_JOURNEY.emit("established", cid, 0, 0, t=now, level="conn")
+            _OBS_JOURNEY.emit(
+                "established", cid, 0, 0, t=now, level="conn", **self._shard_labels()
+            )
         return connection
 
     def _refuse(self, cid: int, chunks: list[Chunk], events: EndpointEvents) -> None:
@@ -607,7 +661,8 @@ class ChunkEndpoint:
             for chunk in chunks:
                 if chunk.is_data:
                     _OBS_JOURNEY.chunk(
-                        "refused", chunk, t=self.loop.now, reason=reason
+                        "refused", chunk, t=self.loop.now, reason=reason,
+                        **self._shard_labels(),
                     )
 
     def _record_touches(self, connection: Connection) -> None:
@@ -623,7 +678,8 @@ class ChunkEndpoint:
             span.add(delta)
         if self.per_connection_metrics:
             labelled_counter(
-                "host", "touch_bytes_total", conn=connection.connection_id
+                "host", "touch_bytes_total", conn=connection.connection_id,
+                **self._shard_labels(),
             ).inc(delta)
 
     # ------------------------------------------------------------------
@@ -679,7 +735,9 @@ class ChunkEndpoint:
         connection.sender = None
         self.budget.release(cid)
         if _OBS_TRACE:
-            _OBS_TRACE.event("conn_evicted", t=at, conn=cid, reason=reason)
+            _OBS_TRACE.event(
+                "conn_evicted", t=at, conn=cid, reason=reason, **self._shard_labels()
+            )
             if self.table.evicted_ids.dropped > tombstones_dropped:
                 _OBS_TRACE.event(
                     "tombstone_dropped",
@@ -687,10 +745,12 @@ class ChunkEndpoint:
                     conn=cid,
                     reason="tombstone_overflow",
                     dropped=self.table.evicted_ids.dropped,
+                    **self._shard_labels(),
                 )
         if _OBS_JOURNEY:
             _OBS_JOURNEY.emit(
-                "evicted", cid, 0, 0, t=at, level="conn", reason=reason
+                "evicted", cid, 0, 0, t=at, level="conn", reason=reason,
+                **self._shard_labels(),
             )
         return True
 

@@ -110,6 +110,55 @@ def test_cid_churn_cannot_grow_the_tombstone_set_past_its_cap(seed):
     assert all(o.complete for o in report.outcomes)
 
 
+def test_sharded_cid_churn_divides_the_tombstone_bound_not_multiplies_it():
+    # N per-shard tombstone FIFOs must share the endpoint-wide bound:
+    # churn far more attacker identifiers than the bound holds and check
+    # total tombstone memory never reaches N x cap.
+    from repro.app.adversarial import ATTACKER_CID_BASE, _attacker_data_chunk
+    from repro.core.packet import Packet
+    from repro.netsim.shardloop import ShardedLoop
+    from repro.transport.connection import ConnectionConfig, build_signaling_chunk
+    from repro.transport.shard import ShardedEndpoint
+
+    shards, cap, cycles = 4, 64, 300
+    loop = ShardedLoop()
+    receiver = ShardedEndpoint(
+        loop, shards=shards, idle_timeout=0.05, close_linger=0.02,
+        tombstone_capacity=cap,
+    )
+    receiver.transmit = lambda frame: None  # attacker never reads acks
+
+    def churn(index: int):
+        cid = ATTACKER_CID_BASE + index
+        frame = Packet(
+            chunks=[
+                build_signaling_chunk(ConnectionConfig(connection_id=cid)),
+                _attacker_data_chunk(cid, 0, close=True),
+            ]
+        ).encode()
+        return lambda: receiver.receive_packet(frame)
+
+    for index in range(cycles):
+        loop.at(index * 2e-4, churn(index))
+    horizon = cycles * 2e-4 + 2.0
+    for tick in range(1, int(horizon / 0.05) + 1):
+        loop.at(tick * 0.05, lambda: receiver.sweep())
+    loop.run()
+    receiver.sweep(now=loop.now + 1.0)
+
+    shard_cap = -(-cap // shards)
+    sizes = [len(s.endpoint.table.evicted_ids) for s in receiver.shards]
+    caps = [s.endpoint.table.evicted_ids.max_entries for s in receiver.shards]
+    assert caps == [shard_cap] * shards
+    assert all(size <= shard_cap for size in sizes)
+    # The endpoint-wide memory bound held (cap divides evenly here, so
+    # no rounding slack) even though every shard's FIFO overflowed.
+    assert sum(sizes) <= cap
+    evicted_total = sum(s.endpoint.table.evicted_total for s in receiver.shards)
+    assert evicted_total == cycles
+    assert all(s.endpoint.table.evicted_ids.dropped > 0 for s in receiver.shards)
+
+
 @settings(max_examples=4, deadline=None)
 @given(seed=seeds)
 def test_slow_loris_tricklers_are_evicted_on_throughput_grounds(seed):

@@ -1,0 +1,75 @@
+"""Fixture: a worker shard reaching outside its per-shard domain.
+
+The domain lattice cannot rank one shard against another (both are
+``per-shard``), so "shard A mutates shard B's table" is modelled the
+way it must actually happen in code: the worker reaches *through the
+per-endpoint composition* that holds every shard's state.  True
+positives: a per-shard worker storing into the composition's state, a
+mutator call on the composition's shard registry, a direct store into
+global-pool accounting, and a pool-ledger mutation laundered through a
+module helper.  Near-misses that must stay clean: the worker mutating
+its *own* table (same domain), borrowing through the declared
+``GlobalBudgetPool.lend`` seam, and the composition mutating a
+narrower per-shard worker.
+"""
+
+
+class GlobalBudgetPool:  # owner: global-pool
+    def __init__(self) -> None:
+        self.lent_total = 0
+        self.ledger: dict = {}
+
+    def lend(self, shard: int, nbytes: int) -> int:
+        self.lent_total += nbytes
+        return nbytes
+
+
+def _drain_ledger(pool):
+    pool.ledger.clear()
+
+
+class FixtureShardTable:  # owner: per-shard
+    def __init__(self) -> None:
+        self.entries: dict = {}
+
+
+class FixtureShardSet:  # owner: per-endpoint
+    def __init__(self, tables: list) -> None:
+        self.tables = tables
+        self.generation = 0
+
+    def repack_is_fine(self, worker: "FixtureShardWorker") -> None:
+        worker.backlog = 0
+
+
+class FixtureShardWorker:  # owner: per-shard
+    def __init__(
+        self,
+        index: int,
+        table: FixtureShardTable,
+        view: FixtureShardSet,
+        pool: GlobalBudgetPool,
+    ) -> None:
+        self.index = index
+        self.table = table
+        self.view = view
+        self.pool = pool
+        self.backlog = 0
+
+    def hijack_store(self) -> None:
+        self.view.generation = -1
+
+    def hijack_call(self, sibling: int) -> None:
+        self.view.pop(sibling)
+
+    def hijack_pool_store(self) -> None:
+        self.pool.lent_total = 0
+
+    def launder_pool(self) -> None:
+        _drain_ledger(self.pool)
+
+    def own_table_is_fine(self) -> None:
+        self.table.entries.clear()
+
+    def borrow_is_fine(self, nbytes: int) -> int:
+        return self.pool.lend(self.index, nbytes)

@@ -18,6 +18,7 @@ from repro.analysis.passes.shard_ownership import DOMAIN_RANK, ShardOwnershipPas
 FIXTURES = Path(__file__).parent / "fixtures" / "src" / "repro"
 REPO_SRC = Path(__file__).parents[2] / "src" / "repro"
 FIXTURE = FIXTURES / "transport" / "bad_shard.py"
+POOL_FIXTURE = FIXTURES / "transport" / "bad_shard_pool.py"
 
 
 def findings_for(*paths: Path) -> list[Finding]:
@@ -30,8 +31,9 @@ def symbols(findings: list[Finding]) -> set[str]:
 
 
 class TestDomainLattice:
-    def test_rank_orders_the_three_domains(self):
-        assert DOMAIN_RANK["per-connection"] < DOMAIN_RANK["per-endpoint"]
+    def test_rank_orders_the_four_domains(self):
+        assert DOMAIN_RANK["per-connection"] < DOMAIN_RANK["per-shard"]
+        assert DOMAIN_RANK["per-shard"] < DOMAIN_RANK["per-endpoint"]
         assert DOMAIN_RANK["per-endpoint"] < DOMAIN_RANK["global-pool"]
 
 
@@ -65,6 +67,44 @@ class TestFixtureTruePositives:
         assert "_forward_reset" in forwarded[0].message
 
 
+class TestPoolFixture:
+    """A per-shard worker crossing into the composition and the pool.
+
+    Shard-vs-shard mutation is same-rank, so the lattice models "shard
+    A mutates shard B's table" as the worker reaching through the
+    per-endpoint composition that holds every shard's state — which is
+    the only way the mutation can be written anyway.
+    """
+
+    def test_expected_findings_fire(self):
+        got = symbols(findings_for(POOL_FIXTURE))
+        assert got == {
+            "cross-domain-store:FixtureShardWorker.hijack_store:60",
+            "cross-domain-call:FixtureShardWorker.hijack_call:63",
+            "cross-domain-store:FixtureShardWorker.hijack_pool_store:66",
+            "laundered-mutation:FixtureShardWorker.launder_pool:_drain_ledger",
+        }
+
+    def test_store_names_shard_and_endpoint_domains(self):
+        [finding] = [
+            f for f in findings_for(POOL_FIXTURE) if "hijack_store" in f.symbol
+        ]
+        assert "(per-shard)" in finding.message
+        assert "(per-endpoint)" in finding.message
+
+    def test_lend_seam_is_sanctioned(self):
+        # The pool's lend/reclaim seam is the declared crossing: a
+        # per-shard budget borrowing blocks must stay clean even though
+        # `lend` is a tracked mutator on global-pool state.
+        for finding in findings_for(POOL_FIXTURE):
+            assert "borrow_is_fine" not in finding.symbol
+
+    def test_own_and_narrower_mutations_stay_clean(self):
+        for finding in findings_for(POOL_FIXTURE):
+            assert "own_table_is_fine" not in finding.symbol
+            assert "repack_is_fine" not in finding.symbol
+
+
 class TestNearMisses:
     def test_clean_idioms_stay_silent(self):
         for finding in findings_for(FIXTURE):
@@ -81,8 +121,14 @@ class TestRealTree:
 
     def test_seams_are_the_only_declared_crossings(self):
         # The declared seams are exactly the shared-accounting surface:
-        # the placement budget, the egress queue, the event loop.
+        # the placement budget, the global pool's lend/reclaim, the
+        # egress queue, the event loop.
         from repro.analysis.passes.shard_ownership import SEAM_METHODS
 
         owners = {cls for cls, _ in SEAM_METHODS}
-        assert owners == {"SharedPlacementBudget", "ChunkEndpoint", "EventLoop"}
+        assert owners == {
+            "SharedPlacementBudget",
+            "GlobalBudgetPool",
+            "ChunkEndpoint",
+            "EventLoop",
+        }

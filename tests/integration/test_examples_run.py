@@ -16,13 +16,16 @@ import pytest
 EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 
-def _run_example(name: str, capsys) -> str:
+def _run_example(name: str, capsys, argv: list[str] | None = None) -> str:
     spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     sys.modules[spec.name] = module
     try:
         spec.loader.exec_module(module)
-        module.main()
+        if argv is None:
+            module.main()
+        else:
+            module.main(argv)
     finally:
         sys.modules.pop(spec.name, None)
     return capsys.readouterr().out
@@ -76,5 +79,15 @@ def test_reliable_transfer(capsys):
 def test_many_conversations(capsys):
     out = _run_example("many_conversations", capsys)
     assert "byte-exact: 32/32" in out
+    assert "idle sweep evicted 32 connections" in out
+    assert "pool now holds 0" in out
+
+
+@pytest.mark.slow
+def test_many_conversations_sharded(capsys):
+    out = _run_example("many_conversations", capsys, argv=["--shards", "4"])
+    assert "4 worker shards" in out
+    assert "byte-exact: 32/32" in out
+    assert "connections per shard:" in out
     assert "idle sweep evicted 32 connections" in out
     assert "pool now holds 0" in out
